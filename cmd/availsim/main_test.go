@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleCase(t *testing.T) {
+	err := run([]string{"-alg", "ykd", "-procs", "16", "-changes", "4", "-rate", "2", "-runs", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCascading(t *testing.T) {
+	err := run([]string{"-alg", "mr1p", "-procs", "16", "-changes", "4", "-rate", "2",
+		"-runs", "10", "-mode", "cascading", "-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPairedMode(t *testing.T) {
+	err := run([]string{"-alg", "ykd", "-alg2", "dfls", "-procs", "16",
+		"-changes", "4", "-rate", "2", "-runs", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSizes(t *testing.T) {
+	err := run([]string{"-alg", "ykd", "-procs", "16", "-changes", "2", "-rate", "2",
+		"-runs", "10", "-sizes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "nonsense"},
+		{"-alg", "ykd", "-mode", "sideways"},
+		{"-alg", "ykd", "-alg2", "nonsense"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}
+
+func TestBadAlgErrorListsChoices(t *testing.T) {
+	err := run([]string{"-alg", "nonsense", "-runs", "1"})
+	if err == nil || !strings.Contains(err.Error(), "ykd") {
+		t.Errorf("error should list valid algorithms: %v", err)
+	}
+}

@@ -1,0 +1,280 @@
+// Command explore is an interactive driver for the primary component
+// algorithms: type partitions, merges, crashes and recoveries and
+// watch who keeps the primary — the thesis's testing framework as a
+// REPL, for building intuition or reproducing a scenario by hand.
+//
+//	$ go run ./cmd/explore -alg ykd -procs 5
+//	> split 0,1,2 | 3,4
+//	> status
+//	> crash 2
+//	> merge
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+)
+
+func main() {
+	var (
+		alg   = flag.String("alg", "ykd", "algorithm to drive")
+		procs = flag.Int("procs", 5, "number of processes")
+		seed  = flag.Int64("seed", 1, "random seed for delivery ordering")
+	)
+	flag.Parse()
+	if err := run(*alg, *procs, *seed, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+// session holds the REPL state.
+type session struct {
+	cluster *sim.Cluster
+	r       *rng.Source
+	n       int
+	nextID  int64
+	out     io.Writer
+}
+
+func run(algName string, procs int, seed int64, in io.Reader, out io.Writer) error {
+	factory, err := algset.ByName(algName)
+	if err != nil {
+		return err
+	}
+	if procs < 1 || procs > 128 {
+		return fmt.Errorf("procs must be 1..128")
+	}
+	s := &session{
+		cluster: sim.NewCluster(factory, procs),
+		r:       rng.New(seed),
+		n:       procs,
+		nextID:  1,
+		out:     out,
+	}
+	fmt.Fprintf(out, "exploring %s with %d processes — commands: split, merge, crash, recover, status, help, quit\n",
+		factory.Name, procs)
+	s.status()
+
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if line != "" {
+			if err := s.exec(line); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			}
+		}
+		fmt.Fprint(out, "> ")
+	}
+	return sc.Err()
+}
+
+func (s *session) exec(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Fprintln(s.out, `commands:
+  split 0,1,2 | 3,4   set the network components (must cover all live processes)
+  merge               reconnect all live processes
+  crash 2             fail-stop a process (its state goes to stable storage)
+  recover 2           restore a crashed process from stable storage
+  lose attempts to 2  drop final-round attempts to a process (Figure 3-1)
+  lose nothing        clear message loss
+  status              show views, primaries and retained ambiguous sessions
+  quit`)
+		return nil
+	case "status":
+		s.status()
+		return nil
+	case "lose":
+		// lose attempts to 2   |   lose nothing
+		if len(fields) == 2 && fields[1] == "nothing" {
+			s.cluster.Drop = nil
+			fmt.Fprintln(s.out, "message loss cleared")
+			return nil
+		}
+		if len(fields) != 4 || fields[1] != "attempts" || fields[2] != "to" {
+			return fmt.Errorf("usage: lose attempts to <process> | lose nothing")
+		}
+		v, err := strconv.Atoi(fields[3])
+		if err != nil || v < 0 || v >= s.n {
+			return fmt.Errorf("process must be 0..%d", s.n-1)
+		}
+		victim := proc.ID(v)
+		s.cluster.Drop = func(_, to proc.ID, m core.Message) bool {
+			if to != victim {
+				return false
+			}
+			k := m.Kind()
+			return k == "ykd/attempt" || k == "mr1p/attempt"
+		}
+		fmt.Fprintf(s.out, "dropping final-round attempt messages to %v — the Figure 3-1 interruption\n", victim)
+		return nil
+	case "merge":
+		var live []proc.ID
+		proc.Universe(s.n).Diff(s.cluster.Crashed()).ForEach(func(p proc.ID) { live = append(live, p) })
+		return s.issue([][]proc.ID{live})
+	case "split":
+		groups, err := s.parseGroups(strings.TrimPrefix(line, "split"))
+		if err != nil {
+			return err
+		}
+		return s.issue(groups)
+	case "crash":
+		p, err := s.parseProc(fields)
+		if err != nil {
+			return err
+		}
+		s.cluster.Collect(s.r)
+		s.cluster.Crash(p)
+		// Survivors of p's component get a new view without it.
+		rest := s.cluster.View(p).Members.Without(p).Diff(s.cluster.Crashed())
+		if !rest.Empty() {
+			s.cluster.IssueViews(s.r, view.View{ID: s.id(), Members: rest})
+		}
+		return s.settle()
+	case "recover":
+		p, err := s.parseProc(fields)
+		if err != nil {
+			return err
+		}
+		if err := s.cluster.Recover(p); err != nil {
+			return err
+		}
+		s.cluster.Collect(s.r)
+		s.cluster.IssueViews(s.r, view.View{ID: s.id(), Members: proc.NewSet(p)})
+		return s.settle()
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+}
+
+func (s *session) parseProc(fields []string) (proc.ID, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("usage: %s <process>", fields[0])
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil || v < 0 || v >= s.n {
+		return 0, fmt.Errorf("process must be 0..%d", s.n-1)
+	}
+	return proc.ID(v), nil
+}
+
+func (s *session) parseGroups(spec string) ([][]proc.ID, error) {
+	var groups [][]proc.ID
+	var union proc.Set
+	for _, part := range strings.Split(spec, "|") {
+		var ids []proc.ID
+		for _, tok := range strings.Split(part, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.Atoi(tok)
+			if err != nil || v < 0 || v >= s.n {
+				return nil, fmt.Errorf("bad process %q", tok)
+			}
+			p := proc.ID(v)
+			if s.cluster.Crashed().Contains(p) {
+				return nil, fmt.Errorf("%v is crashed; recover it first", p)
+			}
+			if union.Contains(p) {
+				return nil, fmt.Errorf("%v appears twice", p)
+			}
+			union = union.With(p)
+			ids = append(ids, p)
+		}
+		if len(ids) > 0 {
+			groups = append(groups, ids)
+		}
+	}
+	live := proc.Universe(s.n).Diff(s.cluster.Crashed())
+	if !union.Equal(live) {
+		return nil, fmt.Errorf("groups cover %v, need exactly the live set %v", union, live)
+	}
+	return groups, nil
+}
+
+func (s *session) issue(groups [][]proc.ID) error {
+	views := make([]view.View, 0, len(groups))
+	for _, ids := range groups {
+		views = append(views, view.View{ID: s.id(), Members: proc.NewSet(ids...)})
+	}
+	s.cluster.Collect(s.r)
+	s.cluster.IssueViews(s.r, views...)
+	return s.settle()
+}
+
+func (s *session) settle() error {
+	if _, err := s.cluster.RunToQuiescence(s.r, 10000); err != nil {
+		return err
+	}
+	if err := sim.CheckOnePrimary(s.cluster); err != nil {
+		fmt.Fprintf(s.out, "!!! %v\n", err)
+	}
+	s.status()
+	return nil
+}
+
+func (s *session) id() int64 {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *session) status() {
+	byView := map[int64][]proc.ID{}
+	for p := 0; p < s.n; p++ {
+		id := proc.ID(p)
+		if s.cluster.Crashed().Contains(id) {
+			continue
+		}
+		v := s.cluster.View(id)
+		byView[v.ID] = append(byView[v.ID], id)
+	}
+	for vid, members := range byView {
+		fmt.Fprintf(s.out, "  view %-4d [", vid)
+		for i, p := range members {
+			if i > 0 {
+				fmt.Fprint(s.out, " ")
+			}
+			mark := ""
+			if s.cluster.Algorithm(p).InPrimary() {
+				mark = "*"
+			}
+			amb := ""
+			if ar, ok := s.cluster.Algorithm(p).(core.AmbiguousReporter); ok {
+				if n := ar.AmbiguousSessionCount(); n > 0 {
+					amb = fmt.Sprintf("(%d?)", n)
+				}
+			}
+			fmt.Fprintf(s.out, "%v%s%s", p, mark, amb)
+		}
+		fmt.Fprintln(s.out, "]  (* = in primary, (n?) = pending sessions)")
+	}
+	if !s.cluster.Crashed().Empty() {
+		fmt.Fprintf(s.out, "  crashed: %v\n", s.cluster.Crashed())
+	}
+	if sim.HasPrimary(s.cluster) {
+		fmt.Fprintln(s.out, "  a primary component exists")
+	} else {
+		fmt.Fprintln(s.out, "  NO primary component")
+	}
+}

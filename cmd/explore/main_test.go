@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, alg string, procs int, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(alg, procs, 1, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestExploreScenario(t *testing.T) {
+	out := runScript(t, "ykd", 5, `
+split 0,1,2 | 3,4
+status
+crash 2
+recover 2
+merge
+quit
+`)
+	if !strings.Contains(out, "a primary component exists") {
+		t.Errorf("missing primary status:\n%s", out)
+	}
+	if !strings.Contains(out, "crashed: {p2}") {
+		t.Errorf("crash not reported:\n%s", out)
+	}
+	if strings.Contains(out, "!!!") {
+		t.Errorf("safety violation reported:\n%s", out)
+	}
+}
+
+func TestExploreRejectsBadInput(t *testing.T) {
+	out := runScript(t, "ykd", 4, `
+split 0,1 | 1,2,3
+split 0,1
+crash 9
+recover 0
+frobnicate
+quit
+`)
+	for _, want := range []string{"appears twice", "need exactly the live set", "process must be 0..3",
+		"is not crashed", "unknown command"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing error %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreEternalBlockingVisible(t *testing.T) {
+	// The pending-session markers show up in status output.
+	out := runScript(t, "mr1p", 5, `
+split 0,1,2 | 3,4
+merge
+quit
+`)
+	if !strings.Contains(out, "exploring mr1p") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestExploreBadAlgorithm(t *testing.T) {
+	var out strings.Builder
+	if err := run("nope", 3, 1, strings.NewReader("quit\n"), &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("ykd", 0, 1, strings.NewReader("quit\n"), &out); err == nil {
+		t.Error("bad proc count accepted")
+	}
+}
+
+// TestExploreFigure31Interactively replays the thesis's Figure 3-1
+// through the REPL: lose attempts to c, partition, regroup — at most
+// one primary throughout, and the pending-session markers visible.
+func TestExploreFigure31Interactively(t *testing.T) {
+	out := runScript(t, "ykd", 5, `
+lose attempts to 2
+split 0,1,2 | 3,4
+lose nothing
+split 0,1 | 2,3,4
+merge
+quit
+`)
+	if !strings.Contains(out, "Figure 3-1 interruption") {
+		t.Errorf("loss injection not acknowledged:\n%s", out)
+	}
+	if !strings.Contains(out, "(1?)") {
+		t.Errorf("pending session marker never shown:\n%s", out)
+	}
+	if strings.Contains(out, "!!!") {
+		t.Errorf("safety violation:\n%s", out)
+	}
+	if !strings.Contains(out, "message loss cleared") {
+		t.Errorf("lose nothing not acknowledged:\n%s", out)
+	}
+}
+
+func TestExploreLoseBadInput(t *testing.T) {
+	out := runScript(t, "ykd", 3, `
+lose attempts to 9
+lose something
+quit
+`)
+	if !strings.Contains(out, "process must be") || !strings.Contains(out, "usage: lose") {
+		t.Errorf("bad lose input not rejected:\n%s", out)
+	}
+}

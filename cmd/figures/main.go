@@ -1,0 +1,339 @@
+// Command figures regenerates every table and figure of the thesis's
+// evaluation (Chapter 4): the six availability figures (4-1 through
+// 4-6), the two ambiguous-session figures (4-7, 4-8), and the in-text
+// measurements — the 32/48/64 scaling check, the paired YKD-vs-DFLS
+// comparison, and the §3.4 message-size maxima.
+//
+// Tables are printed to stdout; with -out, CSV series and rendered SVG
+// plots are also written to the given directory.
+//
+// Examples:
+//
+//	figures                      # the full campaign, thesis parameters
+//	figures -runs 200            # quicker, noisier
+//	figures -fig 4-3             # a single figure
+//	figures -extras              # scaling + paired + message sizes only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/experiment"
+	"dynvote/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		runs    = fs.Int("runs", 1000, "runs per case (thesis: 1000)")
+		procs   = fs.Int("procs", 64, "number of processes (thesis: 64)")
+		fig     = fs.String("fig", "", "single figure to regenerate (4-1 .. 4-8); empty = all")
+		out     = fs.String("out", "", "directory for CSV output (optional)")
+		seed    = fs.Int64("seed", 20000505, "root random seed")
+		rates   = fs.String("rates", "", "comma-separated rate sweep (default 0..12)")
+		extras  = fs.Bool("extras", false, "run only the in-text measurements (scaling, paired, sizes)")
+		studies = fs.Bool("studies", false, "run only the §5.1 extension studies (crash, change timing)")
+		noext   = fs.Bool("figures-only", false, "skip the in-text measurements")
+		verbose = fs.Bool("v", false, "per-case progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.Options{Procs: *procs, Runs: *runs, Seed: *seed}
+	if *rates != "" {
+		for _, s := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -rates: %w", err)
+			}
+			opts.Rates = append(opts.Rates, v)
+		}
+	}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	opts = opts.Defaults()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	if *studies {
+		if err := emitStudies(opts); err != nil {
+			return err
+		}
+		fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+		return nil
+	}
+	if !*extras {
+		specs := experiment.Figures(opts)
+		if *fig != "" {
+			f, err := experiment.FigureByID(*fig, opts)
+			if err != nil {
+				return err
+			}
+			specs = []experiment.FigureSpec{f}
+		}
+		for _, spec := range specs {
+			if err := emitFigure(spec, *out); err != nil {
+				return err
+			}
+		}
+	}
+	if *extras || (*fig == "" && !*noext) {
+		if err := emitExtras(opts, *out); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+	return nil
+}
+
+func emitFigure(spec experiment.FigureSpec, outDir string) error {
+	fmt.Printf("==== Figure %s: %s ====\n\n", spec.ID, spec.Caption)
+	for _, sweep := range spec.Sweeps {
+		start := time.Now()
+		series, err := experiment.RunSweep(sweep)
+		if err != nil {
+			return err
+		}
+		switch spec.Kind {
+		case experiment.KindAvailability:
+			fmt.Println(experiment.RenderAvailabilityTable(spec.Caption, sweep, series))
+			if outDir != "" {
+				name := filepath.Join(outDir, "fig"+spec.ID+".csv")
+				if err := os.WriteFile(name, []byte(experiment.RenderAvailabilityCSV(sweep, series)), 0o644); err != nil {
+					return err
+				}
+				svg, err := availabilitySVG(spec, sweep, series)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(outDir, "fig"+spec.ID+".svg"), []byte(svg), 0o644); err != nil {
+					return err
+				}
+			}
+		case experiment.KindAmbiguity:
+			// Figures 4-7 (stable) and 4-8 (in progress) come from the
+			// same runs; render both views.
+			fmt.Println(experiment.RenderAmbiguityTable(
+				"Figure 4-7: retained when stable", sweep, series, true))
+			fmt.Println(experiment.RenderAmbiguityTable(
+				"Figure 4-8: sent over the network (in progress)", sweep, series, false))
+			if outDir != "" {
+				for _, v := range []struct {
+					fig    string
+					stable bool
+				}{{"4-7", true}, {"4-8", false}} {
+					name := filepath.Join(outDir,
+						fmt.Sprintf("fig%s-changes%d.csv", v.fig, sweep.Changes))
+					if err := os.WriteFile(name,
+						[]byte(experiment.RenderAmbiguityCSV(sweep, series, v.stable)), 0o644); err != nil {
+						return err
+					}
+					svg, err := ambiguitySVG(sweep, series, v.stable)
+					if err != nil {
+						return err
+					}
+					svgName := filepath.Join(outDir,
+						fmt.Sprintf("fig%s-changes%d.svg", v.fig, sweep.Changes))
+					if err := os.WriteFile(svgName, []byte(svg), 0o644); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		fmt.Printf("[%.1fs]\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func emitExtras(opts experiment.Options, outDir string) error {
+	// Scaling check (§4.1): Figure 4-2's workload at 32, 48 and 64
+	// processes should give almost identical availability.
+	fmt.Println("==== Scaling check (§4.1): 6 fresh changes at 32/48/64 processes ====")
+	fmt.Println()
+	scalingRates := []float64{1, 4, 8}
+	fmt.Printf("%-8s", "procs")
+	for _, r := range scalingRates {
+		fmt.Printf(" rate=%-9.0f", r)
+	}
+	fmt.Println(" (ykd availability)")
+	for _, n := range []int{32, 48, 64} {
+		fmt.Printf("%-8d", n)
+		for _, rate := range scalingRates {
+			res, err := experiment.RunCase(experiment.CaseSpec{
+				Factory: algset.Availability()[0], Procs: n, Changes: 6,
+				MeanRounds: rate, Runs: opts.Runs, Mode: experiment.FreshStart, Seed: opts.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %13.1f%%", res.Availability.Percent())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Paired YKD vs DFLS (§4.1): YKD forms a primary where DFLS does
+	// not in ≈3% of runs at moderate-to-high rates.
+	fmt.Println("==== Paired comparison (§4.1): YKD vs DFLS, same random sequences ====")
+	fmt.Println()
+	ykdF, _ := algset.ByName("ykd")
+	dflsF, _ := algset.ByName("dfls")
+	for _, changes := range []int{2, 6, 12} {
+		pr, err := experiment.RunPaired(ykdF, dflsF, experiment.CaseSpec{
+			Procs: opts.Procs, Changes: changes, MeanRounds: 6,
+			Runs: opts.Runs, Mode: experiment.FreshStart, Seed: opts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2d changes, rate 6: ykd-only %.2f%%  dfls-only %.2f%%  both %.1f%%  neither %.1f%%\n",
+			changes, pr.FirstAdvantagePercent(),
+			100*float64(pr.OnlySecond)/float64(pr.Runs),
+			100*float64(pr.Both)/float64(pr.Runs),
+			100*float64(pr.Neither)/float64(pr.Runs))
+	}
+	fmt.Println()
+
+	// Message sizes (§3.4): largest single broadcast and largest
+	// per-round traffic with 64 processes must stay around 2 KB.
+	fmt.Println("==== Message sizes (§3.4): 64 processes, 12 changes, rate 2 ====")
+	fmt.Println()
+	for _, name := range []string{"ykd", "ykd-unopt", "dfls", "mr1p"} {
+		f, err := algset.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.RunCase(experiment.CaseSpec{
+			Factory: f, Procs: opts.Procs, Changes: 12, MeanRounds: 2,
+			Runs: min(opts.Runs, 300), Mode: experiment.FreshStart, Seed: opts.Seed,
+			MeasureSizes: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s max message: %5d B   max broadcast bytes in one round: %6d B   max sessions held: %d\n",
+			name, res.Sizes.MaxMessageBytes, res.Sizes.MaxRoundBytes, res.InProgress.Max())
+	}
+	_ = outDir
+	fmt.Println()
+	return nil
+}
+
+// emitStudies runs the §5.1 future-work studies: one process crashing
+// mid-run, and non-uniform change-timing distributions.
+func emitStudies(opts experiment.Options) error {
+	fmt.Println("==== Extension study (§5.1): crash of the lexically smallest process ====")
+	fmt.Println()
+	crashSpec := experiment.CrashStudySpec{
+		Procs: opts.Procs, Changes: 12, MeanRounds: 2,
+		Runs: opts.Runs, Seed: opts.Seed, Victim: 0, AfterChanges: 4,
+	}
+	rows, err := experiment.RunCrashStudy(crashSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderCrashStudy(crashSpec, rows))
+
+	fmt.Println("==== Extension study (§5.1): change-timing distributions ====")
+	fmt.Println()
+	timingSpec := experiment.TimingStudySpec{
+		Procs: opts.Procs, Changes: 12, MeanRounds: 2,
+		Runs: opts.Runs, Seed: opts.Seed,
+	}
+	trows, err := experiment.RunTimingStudy(timingSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderTimingStudy(timingSpec, trows))
+
+	fmt.Println("==== Extension study: re-formation latency ====")
+	fmt.Println()
+	latSpec := experiment.LatencyStudySpec{
+		Procs: opts.Procs, Changes: 12, MeanRounds: 2,
+		Runs: opts.Runs, Seed: opts.Seed,
+	}
+	lrows, err := experiment.RunLatencyStudy(latSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderLatencyStudy(latSpec, lrows))
+	return nil
+}
+
+// availabilitySVG renders one availability figure as a line chart.
+func availabilitySVG(spec experiment.FigureSpec, sweep experiment.SweepSpec, series []experiment.Series) (string, error) {
+	chart := plot.LineChart{
+		Title:    "Figure " + spec.ID,
+		Subtitle: fmt.Sprintf("%s — %d processes, %d runs/case", spec.Caption, sweep.Procs, sweep.Runs),
+		XLabel:   "mean message rounds between connectivity changes",
+		YLabel:   "availability %",
+		X:        sweep.Rates,
+		YMin:     40, YMax: 100,
+	}
+	for _, s := range series {
+		vals := make([]float64, len(s.Points))
+		min := 100.0
+		for i, p := range s.Points {
+			vals[i] = p.Availability.Percent()
+			if vals[i] < min {
+				min = vals[i]
+			}
+		}
+		if min < chart.YMin {
+			chart.YMin = min - 5
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: s.Algorithm, Values: vals})
+	}
+	return chart.Render()
+}
+
+// ambiguitySVG renders one ambiguity panel as grouped bars of the
+// percentage of samples retaining at least one session.
+func ambiguitySVG(sweep experiment.SweepSpec, series []experiment.Series, stable bool) (string, error) {
+	which := "retained when stable"
+	if !stable {
+		which = "in progress"
+	}
+	chart := plot.BarChart{
+		Title:    fmt.Sprintf("Ambiguous sessions %s — %d changes", which, sweep.Changes),
+		Subtitle: fmt.Sprintf("%d processes, %d runs/case", sweep.Procs, sweep.Runs),
+		XLabel:   "mean message rounds between connectivity changes",
+		YLabel:   "% of samples with ≥1 session",
+	}
+	for _, rate := range sweep.Rates {
+		chart.Groups = append(chart.Groups, strconv.FormatFloat(rate, 'g', -1, 64))
+	}
+	for _, s := range series {
+		vals := make([]float64, len(s.Points))
+		for i := range s.Points {
+			h := &s.Points[i].Stable
+			if !stable {
+				h = &s.Points[i].InProgress
+			}
+			vals[i] = h.PercentAtLeast(1)
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: s.Algorithm, Values: vals})
+	}
+	return chart.Render()
+}

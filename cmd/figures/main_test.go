@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleAvailabilityFigure(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "4-1", "-procs", "16", "-runs", "10",
+		"-rates", "0,4", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4-1.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunAmbiguityFigureWritesBothCSVs(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "4-7", "-procs", "16", "-runs", "8",
+		"-rates", "2", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig4-7-changes2.csv", "fig4-8-changes2.csv",
+		"fig4-7-changes12.csv", "fig4-8-changes12.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+}
+
+func TestRunExtrasOnly(t *testing.T) {
+	err := run([]string{"-extras", "-procs", "16", "-runs", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "9-9"},
+		{"-rates", "abc"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunQuickSoak(t *testing.T) {
+	err := run([]string{"-changes", "200", "-procs", "8", "-alg", "ykd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllAlgorithmsTinySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm soak")
+	}
+	err := run([]string{"-changes", "100", "-procs", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{{"-alg", "nope"}, {"-bogus"}} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

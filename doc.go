@@ -1,0 +1,18 @@
+// Package dynvote is a from-scratch Go reproduction of "Availability
+// Study of Dynamic Voting Algorithms" (Kyle W. Ingols, MIT MEng
+// thesis, June 2000; ICDCS 2001 with Idit Keidar).
+//
+// The module implements the thesis's framework for primary component
+// algorithms, five dynamic voting algorithms plus the simple-majority
+// baseline, the driver-loop simulation system with its safety checker,
+// a live group-communication substrate, and the complete measurement
+// campaign behind every figure of the evaluation.
+//
+// Start with README.md for an overview, DESIGN.md for the system
+// inventory and modelling decisions, and EXPERIMENTS.md for the
+// measured reproduction of every thesis figure. The root package holds
+// only documentation and the repository-level benchmarks
+// (bench_test.go) and integration tests; the implementation lives
+// under internal/ and the runnable entry points under cmd/ and
+// examples/.
+package dynvote

@@ -1,0 +1,156 @@
+// Partitiondemo replays the inconsistency scenario of thesis Figure
+// 3-1, side by side for every algorithm in the study: processes a and
+// b form {a,b,c} but c detaches before learning the outcome, then
+// joins d and e. A naive approach would now declare two concurrent
+// primaries — {a,b} and {c,d,e}. The dynamic voting algorithms must
+// not, and this demo shows how each one resolves the ambiguity when c
+// finally reconnects.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/core"
+	"dynvote/internal/naive"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partitiondemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// First, the broken approach: dynamic voting without agreement
+	// really does split-brain in this scenario.
+	if err := replayNaive(); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	for _, f := range algset.All() {
+		if err := replay(f); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// replayNaive runs the same scenario with the agreement-free rule and
+// shows the checker catching the resulting double primary.
+func replayNaive() error {
+	fmt.Println("=== naive (dynamic voting without agreement) ===")
+	const a, b, c, d, e = 0, 1, 2, 3, 4
+	cluster := sim.NewCluster(naive.Factory(), 5)
+	r := rng.New(3)
+
+	settle := func(views ...view.View) error {
+		cluster.Collect(r)
+		cluster.IssueViews(r, views...)
+		_, err := cluster.RunToQuiescence(r, 1000)
+		return err
+	}
+
+	cluster.Drop = func(from, to proc.ID, _ core.Message) bool {
+		return to == c && from == a // c misses one state message
+	}
+	if err := settle(
+		view.View{ID: 1, Members: proc.NewSet(a, b, c)},
+		view.View{ID: 2, Members: proc.NewSet(d, e)},
+	); err != nil {
+		return err
+	}
+	cluster.Drop = nil
+	fmt.Println("  a,b declared {a,b,c}; c missed a message and did not")
+
+	if err := settle(
+		view.View{ID: 3, Members: proc.NewSet(a, b)},
+		view.View{ID: 4, Members: proc.NewSet(c, d, e)},
+	); err != nil {
+		return err
+	}
+	if err := sim.CheckOnePrimary(cluster); err != nil {
+		fmt.Printf("  SPLIT BRAIN, as the thesis predicts: %v\n", err)
+		return nil
+	}
+	return fmt.Errorf("naive approach unexpectedly stayed safe")
+}
+
+func replay(factory core.Factory) error {
+	fmt.Printf("=== %s ===\n", factory.Name)
+	const a, b, c, d, e = 0, 1, 2, 3, 4
+	cluster := sim.NewCluster(factory, 5)
+	r := rng.New(7)
+
+	names := []string{"a", "b", "c", "d", "e"}
+	report := func(stage string) {
+		fmt.Printf("  %-44s", stage)
+		for p := 0; p < 5; p++ {
+			mark := "."
+			if cluster.Algorithm(proc.ID(p)).InPrimary() {
+				mark = "P"
+			}
+			fmt.Printf(" %s=%s", names[p], mark)
+		}
+		fmt.Println()
+	}
+
+	settle := func(views ...view.View) error {
+		cluster.Collect(r)
+		cluster.IssueViews(r, views...)
+		if _, err := cluster.RunToQuiescence(r, 1000); err != nil {
+			return err
+		}
+		return sim.CheckOnePrimary(cluster)
+	}
+
+	// Step 1: partition into {a,b,c} and {d,e}, but c detaches before
+	// receiving the final attempt messages: for the YKD family this is
+	// an attempt-message drop; the same effect is modelled for every
+	// algorithm by dropping its final-round traffic to c.
+	cluster.Drop = func(_, to proc.ID, m core.Message) bool {
+		if to != c {
+			return false
+		}
+		switch m.(type) {
+		case *ykd.AttemptMessage:
+			return true
+		default:
+			return m.Kind() == "mr1p/attempt"
+		}
+	}
+	if err := settle(
+		view.View{ID: 1, Members: proc.NewSet(a, b, c)},
+		view.View{ID: 2, Members: proc.NewSet(d, e)},
+	); err != nil {
+		return err
+	}
+	cluster.Drop = nil
+	report("a,b form {a,b,c}; c missed the outcome:")
+
+	// Step 2: c leaves a,b and joins d,e — the dangerous moment.
+	if err := settle(
+		view.View{ID: 3, Members: proc.NewSet(a, b)},
+		view.View{ID: 4, Members: proc.NewSet(c, d, e)},
+	); err != nil {
+		return err
+	}
+	report("c joins {d,e}; naive would split-brain:")
+
+	// Step 3: everyone reconnects; the ambiguity resolves.
+	if err := settle(view.View{ID: 5, Members: proc.Universe(5)}); err != nil {
+		return err
+	}
+	report("full reconnect; ambiguity resolved:")
+	fmt.Println("  at most one primary existed at every stage (checked)")
+	return nil
+}

@@ -1,0 +1,110 @@
+// Replicateddb demonstrates the primary component paradigm protecting
+// a replicated key-value store (the thesis's motivating application):
+// five replicas over the in-memory group communication substrate, a
+// partition, writes accepted only by the primary side, and
+// anti-entropy catch-up when the network heals.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"dynvote/internal/gcs"
+	"dynvote/internal/proc"
+	"dynvote/internal/register"
+	"dynvote/internal/ykd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replicateddb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 5
+	net := gcs.NewMemNetwork(n)
+	stores := make([]*register.Store, n)
+	for i := 0; i < n; i++ {
+		s, err := register.Open(register.Config{
+			ID: proc.ID(i), N: n,
+			Transport: net.Transport(proc.ID(i)),
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			return err
+		}
+		stores[i] = s
+		defer s.Close()
+	}
+
+	waitFor := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return fmt.Errorf("timed out waiting for %s", what)
+	}
+
+	fmt.Println("five replicas, all connected")
+	if err := stores[0].Set("motd", "hello, world"); err != nil {
+		return err
+	}
+	if err := waitFor("initial replication", func() bool {
+		v, ok, _ := stores[4].Get("motd")
+		return ok && v == "hello, world"
+	}); err != nil {
+		return err
+	}
+	fmt.Println(`  write motd="hello, world" at r0 → replicated to all`)
+
+	fmt.Println("\npartition {r0,r1,r2} | {r3,r4}")
+	if err := net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		return err
+	}
+	if err := waitFor("partition to settle", func() bool {
+		return stores[0].InPrimary() && !stores[3].InPrimary()
+	}); err != nil {
+		return err
+	}
+
+	if err := stores[0].Set("motd", "written by the primary"); err != nil {
+		return err
+	}
+	fmt.Println("  r0 (primary side) write accepted")
+
+	err := stores[3].Set("motd", "split-brain attempt")
+	if errors.Is(err, register.ErrNotPrimary) {
+		fmt.Println("  r3 (minority side) write REFUSED: not in primary component")
+	} else {
+		return fmt.Errorf("minority write unexpectedly allowed: %v", err)
+	}
+
+	v, _, auth := stores[4].Get("motd")
+	fmt.Printf("  r4 reads %q (authoritative=%v — stale but honest)\n", v, auth)
+
+	fmt.Println("\nnetwork heals")
+	if err := net.SetComponents(proc.Universe(n)); err != nil {
+		return err
+	}
+	if err := waitFor("anti-entropy catch-up", func() bool {
+		for _, s := range stores {
+			v, ok, auth := s.Get("motd")
+			if !ok || v != "written by the primary" || !auth {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	fmt.Println(`  all five replicas converge on "written by the primary", authoritative again`)
+	fmt.Println("\nno split-brain occurred: the primary component did its job")
+	return nil
+}

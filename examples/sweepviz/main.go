@@ -1,0 +1,52 @@
+// Sweepviz renders a quick ASCII view of one availability figure in
+// the terminal: each algorithm's availability curve as horizontal
+// bars over the swept change rate — the thesis's plots without
+// Matlab. Flags choose the workload; defaults keep it under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynvote/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		procs   = flag.Int("procs", 32, "number of processes")
+		changes = flag.Int("changes", 6, "connectivity changes per run")
+		runs    = flag.Int("runs", 120, "runs per case")
+		casc    = flag.Bool("cascading", false, "cascading instead of fresh-start runs")
+	)
+	flag.Parse()
+
+	mode := experiment.FreshStart
+	if *casc {
+		mode = experiment.Cascading
+	}
+	opts := experiment.Options{
+		Procs: *procs,
+		Runs:  *runs,
+		Rates: []float64{0, 1, 2, 4, 6, 8, 10, 12},
+	}
+	spec := experiment.AvailabilityFigure("viz", *changes, mode, opts)
+	sweep := spec.Sweeps[0]
+
+	fmt.Printf("%s\n%d processes, %d runs/case\n\n", spec.Caption, sweep.Procs, sweep.Runs)
+	series, err := experiment.RunSweep(sweep)
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Println(experiment.RenderAvailabilityBars(sweep, s))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module dynvote
+
+go 1.22

@@ -1,0 +1,154 @@
+// Repository-level integration tests: run reduced versions of the
+// thesis's experiments end-to-end and assert the qualitative shape of
+// the results — who wins, what degrades, where curves converge. The
+// full-resolution numbers live in EXPERIMENTS.md and cmd/figures.
+package dynvote_test
+
+import (
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/experiment"
+)
+
+const shapeRuns = 150
+
+func shapeCase(t *testing.T, alg string, changes int, rate float64, mode experiment.Mode) experiment.CaseResult {
+	t.Helper()
+	f, err := algset.ByName(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.RunCase(experiment.CaseSpec{
+		Factory: f, Procs: 32, Changes: changes, MeanRounds: rate,
+		Runs: shapeRuns, Mode: mode, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShapeAvailabilityRisesWithStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	calm := shapeCase(t, "ykd", 12, 12, experiment.FreshStart).Availability.Percent()
+	frantic := shapeCase(t, "ykd", 12, 0, experiment.FreshStart).Availability.Percent()
+	if calm <= frantic {
+		t.Errorf("availability should rise with stability: rate12=%.1f%% vs rate0=%.1f%%", calm, frantic)
+	}
+}
+
+func TestShapeAllConvergeAtExtremeFrequency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	// At near-zero intervals the algorithms cannot exchange anything
+	// and sit within a few points of the stateless baseline.
+	base := shapeCase(t, "simple-majority", 12, 0, experiment.FreshStart).Availability.Percent()
+	for _, alg := range []string{"ykd", "dfls", "1-pending"} {
+		got := shapeCase(t, alg, 12, 0, experiment.FreshStart).Availability.Percent()
+		if got < base-8 || got > base+12 {
+			t.Errorf("%s at rate 0 = %.1f%%, baseline %.1f%%: should converge", alg, got, base)
+		}
+	}
+}
+
+func TestShapeYKDBeatsDFLSWhichBeatsOnePending(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	ykdP := shapeCase(t, "ykd", 12, 4, experiment.FreshStart).Availability.Percent()
+	dflsP := shapeCase(t, "dfls", 12, 4, experiment.FreshStart).Availability.Percent()
+	opP := shapeCase(t, "1-pending", 12, 4, experiment.FreshStart).Availability.Percent()
+	smP := shapeCase(t, "simple-majority", 12, 4, experiment.FreshStart).Availability.Percent()
+	if ykdP < dflsP {
+		t.Errorf("ykd %.1f%% < dfls %.1f%%", ykdP, dflsP)
+	}
+	if dflsP <= opP {
+		t.Errorf("dfls %.1f%% ≤ 1-pending %.1f%%", dflsP, opP)
+	}
+	if ykdP <= smP {
+		t.Errorf("ykd %.1f%% ≤ simple-majority %.1f%%", ykdP, smP)
+	}
+}
+
+func TestShapeUnoptimizedMatchesYKDAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	// §3.2.1/§4.1: identical availability — same runs, same outcomes.
+	a := shapeCase(t, "ykd", 6, 3, experiment.FreshStart).Availability
+	b := shapeCase(t, "ykd-unopt", 6, 3, experiment.FreshStart).Availability
+	if a != b {
+		t.Errorf("ykd %v vs ykd-unopt %v: availability should be identical", a, b)
+	}
+}
+
+func TestShapeCascadingStableForYKDDrasticForOnePending(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	ykdFresh := shapeCase(t, "ykd", 12, 1, experiment.FreshStart).Availability.Percent()
+	ykdCasc := shapeCase(t, "ykd", 12, 1, experiment.Cascading).Availability.Percent()
+	if diff := ykdFresh - ykdCasc; diff > 10 || diff < -10 {
+		t.Errorf("ykd cascading should track fresh: fresh=%.1f%% cascading=%.1f%%", ykdFresh, ykdCasc)
+	}
+
+	opFresh := shapeCase(t, "1-pending", 12, 1, experiment.FreshStart).Availability.Percent()
+	opCasc := shapeCase(t, "1-pending", 12, 1, experiment.Cascading).Availability.Percent()
+	if opCasc >= opFresh {
+		t.Errorf("1-pending must degrade under cascading: fresh=%.1f%% cascading=%.1f%%", opFresh, opCasc)
+	}
+	smCasc := shapeCase(t, "simple-majority", 12, 1, experiment.Cascading).Availability.Percent()
+	if opCasc >= smCasc {
+		t.Errorf("1-pending cascading (%.1f%%) should fall below simple majority (%.1f%%)", opCasc, smCasc)
+	}
+}
+
+func TestShapeAmbiguousSessionsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	// §3.4/§4.2: retained sessions dominantly zero, maxima tiny.
+	for _, alg := range []string{"ykd", "ykd-unopt", "dfls"} {
+		res := shapeCase(t, alg, 12, 2, experiment.FreshStart)
+		if res.InProgress.Percent(0) < 50 {
+			t.Errorf("%s: %0.1f%% zero-session samples, want dominantly zero",
+				alg, res.InProgress.Percent(0))
+		}
+		max := res.InProgress.Max()
+		limit := 6
+		if alg != "ykd" {
+			limit = 11
+		}
+		if max > limit {
+			t.Errorf("%s: max ambiguous sessions %d exceeds plausible bound %d", alg, max, limit)
+		}
+	}
+}
+
+func TestShapeMessageSizesWithinThesisBallpark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate shape test")
+	}
+	f, _ := algset.ByName("ykd")
+	res, err := experiment.RunCase(experiment.CaseSpec{
+		Factory: f, Procs: 64, Changes: 12, MeanRounds: 2,
+		Runs: 60, Mode: experiment.FreshStart, Seed: 99, MeasureSizes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.4: the information a process must transmit stays within two
+	// kilobytes — its state message is the dominant cost.
+	if res.Sizes.MaxMessageBytes > 2048 {
+		t.Errorf("max single message %d B, thesis ballpark is ≤ 2 KB", res.Sizes.MaxMessageBytes)
+	}
+	// Whole-system round traffic is bounded by every process sending
+	// one such message.
+	if res.Sizes.MaxRoundBytes > 64*2048 {
+		t.Errorf("max round traffic %d B exceeds 64 × 2 KB", res.Sizes.MaxRoundBytes)
+	}
+}

@@ -1,0 +1,68 @@
+// Package algset enumerates the six primary component algorithms of
+// the study — the five dynamic voting algorithms plus the
+// simple-majority baseline — so that the simulator, experiments, CLIs
+// and tests all draw from one list.
+package algset
+
+import (
+	"fmt"
+	"strings"
+
+	"dynvote/internal/core"
+	"dynvote/internal/majority"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/ykd"
+)
+
+// All returns the factories for every algorithm in the study, in the
+// order the thesis's figures list them: YKD, DFLS, 1-pending, MR1p,
+// simple majority — with unoptimized YKD last since the thesis plots
+// it only in the ambiguous-session figures.
+func All() []core.Factory {
+	return []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantDFLS),
+		ykd.Factory(ykd.VariantOnePending),
+		mr1p.Factory(),
+		majority.Factory(),
+		ykd.Factory(ykd.VariantUnoptimized),
+	}
+}
+
+// Availability returns the five algorithms plotted in the availability
+// figures (4-1 through 4-6). Unoptimized YKD is excluded because its
+// availability is identical to YKD's (§4.1).
+func Availability() []core.Factory {
+	return []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantDFLS),
+		ykd.Factory(ykd.VariantOnePending),
+		mr1p.Factory(),
+		majority.Factory(),
+	}
+}
+
+// AmbiguousSessions returns the three algorithms measured in the
+// ambiguous-session figures (4-7, 4-8): YKD, unoptimized YKD, DFLS.
+func AmbiguousSessions() []core.Factory {
+	return []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantUnoptimized),
+		ykd.Factory(ykd.VariantDFLS),
+	}
+}
+
+// ByName resolves an algorithm by its experiment-output name.
+func ByName(name string) (core.Factory, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	names := make([]string, 0, len(All()))
+	for _, f := range All() {
+		names = append(names, f.Name)
+	}
+	return core.Factory{}, fmt.Errorf("algset: unknown algorithm %q (have: %s)",
+		name, strings.Join(names, ", "))
+}

@@ -1,0 +1,93 @@
+package algset
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func TestAllDistinctAndComplete(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("All() = %d algorithms, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, f := range all {
+		if seen[f.Name] {
+			t.Errorf("duplicate algorithm %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, want := range []string{"ykd", "ykd-unopt", "dfls", "1-pending", "mr1p", "simple-majority"} {
+		if !seen[want] {
+			t.Errorf("missing algorithm %q", want)
+		}
+	}
+}
+
+func TestAvailabilityExcludesUnoptimized(t *testing.T) {
+	for _, f := range Availability() {
+		if f.Name == "ykd-unopt" {
+			t.Error("availability set must exclude ykd-unopt (§4.1)")
+		}
+	}
+	if len(Availability()) != 5 {
+		t.Errorf("availability set = %d, want 5", len(Availability()))
+	}
+}
+
+func TestAmbiguousSessionsSet(t *testing.T) {
+	names := []string{}
+	for _, f := range AmbiguousSessions() {
+		names = append(names, f.Name)
+	}
+	want := []string{"ykd", "ykd-unopt", "dfls"}
+	if len(names) != len(want) {
+		t.Fatalf("ambiguity set = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ambiguity set = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("mr1p")
+	if err != nil || f.Name != "mr1p" {
+		t.Fatalf("ByName(mr1p) = %v, %v", f.Name, err)
+	}
+	if _, err := ByName("raft"); err == nil {
+		t.Error("ByName accepted an unknown algorithm")
+	}
+}
+
+func TestFactoriesProduceWorkingInstances(t *testing.T) {
+	initial := view.View{ID: 0, Members: proc.Universe(4)}
+	for _, f := range All() {
+		alg := f.New(1, initial)
+		if alg.Name() != f.Name {
+			t.Errorf("instance name %q != factory name %q", alg.Name(), f.Name)
+		}
+		if !alg.InPrimary() {
+			t.Errorf("%s: fresh instance not in initial primary", f.Name)
+		}
+		// A factory with messages must carry a codec for them.
+		alg.ViewChange(view.View{ID: 1, Members: proc.NewSet(0, 1, 2)})
+		msgs := alg.Poll()
+		if len(msgs) > 0 && f.Codec == nil {
+			t.Errorf("%s: sends messages but has no codec", f.Name)
+		}
+		for _, m := range msgs {
+			b, err := f.Codec.Encode(m)
+			if err != nil {
+				t.Errorf("%s: encode: %v", f.Name, err)
+				continue
+			}
+			if _, err := f.Codec.Decode(b); err != nil {
+				t.Errorf("%s: decode: %v", f.Name, err)
+			}
+		}
+	}
+}

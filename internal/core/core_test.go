@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// fake is a minimal algorithm for exercising the Piggyback wrapper
+// with a real codec (ykd's).
+type fake struct {
+	out       []core.Message
+	delivered []core.Message
+	views     []view.View
+	primary   bool
+}
+
+func (f *fake) Name() string           { return "fake" }
+func (f *fake) ViewChange(v view.View) { f.views = append(f.views, v) }
+func (f *fake) Deliver(_ proc.ID, m core.Message) {
+	f.delivered = append(f.delivered, m)
+}
+func (f *fake) Poll() []core.Message {
+	out := f.out
+	f.out = nil
+	return out
+}
+func (f *fake) InPrimary() bool { return f.primary }
+
+func attemptMsg(n int64) core.Message {
+	return &ykd.AttemptMessage{ViewID: n, Session: view.Session{Number: n, Members: proc.NewSet(0, 1)}}
+}
+
+func TestPiggybackNothingToSend(t *testing.T) {
+	pb := core.NewPiggyback(&fake{}, ykd.Codec{})
+	data, send, err := pb.Outgoing(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if send || data != nil {
+		t.Errorf("Outgoing(nil) with idle algorithm = (%v, %v), want nothing", data, send)
+	}
+}
+
+func TestPiggybackAppOnly(t *testing.T) {
+	sender := core.NewPiggyback(&fake{}, ykd.Codec{})
+	data, send, err := sender.Outgoing([]byte("payload"))
+	if err != nil || !send {
+		t.Fatalf("Outgoing = %v, %v", send, err)
+	}
+
+	recvAlg := &fake{}
+	receiver := core.NewPiggyback(recvAlg, ykd.Codec{})
+	app, err := receiver.Incoming(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(app, []byte("payload")) {
+		t.Errorf("app payload = %q", app)
+	}
+	if len(recvAlg.delivered) != 0 {
+		t.Errorf("algorithm got %d messages, want 0", len(recvAlg.delivered))
+	}
+}
+
+func TestPiggybackBundlesAlgorithmTraffic(t *testing.T) {
+	sendAlg := &fake{out: []core.Message{attemptMsg(3), attemptMsg(4)}}
+	sender := core.NewPiggyback(sendAlg, ykd.Codec{})
+	data, send, err := sender.Outgoing([]byte("app"))
+	if err != nil || !send {
+		t.Fatalf("Outgoing = %v, %v", send, err)
+	}
+
+	recvAlg := &fake{}
+	receiver := core.NewPiggyback(recvAlg, ykd.Codec{})
+	app, err := receiver.Incoming(2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The application never sees the algorithm's extra information.
+	if string(app) != "app" {
+		t.Errorf("app payload = %q", app)
+	}
+	if len(recvAlg.delivered) != 2 {
+		t.Fatalf("algorithm got %d messages, want 2", len(recvAlg.delivered))
+	}
+	am, ok := recvAlg.delivered[0].(*ykd.AttemptMessage)
+	if !ok || am.ViewID != 3 {
+		t.Errorf("first delivered = %#v", recvAlg.delivered[0])
+	}
+}
+
+func TestPiggybackAlgOnlyNoApp(t *testing.T) {
+	sendAlg := &fake{out: []core.Message{attemptMsg(1)}}
+	sender := core.NewPiggyback(sendAlg, ykd.Codec{})
+	data, send, err := sender.Outgoing(nil)
+	if err != nil || !send {
+		t.Fatalf("Outgoing = %v, %v", send, err)
+	}
+	recvAlg := &fake{}
+	receiver := core.NewPiggyback(recvAlg, ykd.Codec{})
+	app, err := receiver.Incoming(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != nil {
+		t.Errorf("app = %q, want nil", app)
+	}
+	if len(recvAlg.delivered) != 1 {
+		t.Errorf("algorithm got %d messages, want 1", len(recvAlg.delivered))
+	}
+}
+
+func TestPiggybackEmptyAppPayloadDistinctFromNone(t *testing.T) {
+	sender := core.NewPiggyback(&fake{}, ykd.Codec{})
+	data, send, err := sender.Outgoing([]byte{})
+	if err != nil || !send {
+		t.Fatalf("Outgoing = %v, %v", send, err)
+	}
+	receiver := core.NewPiggyback(&fake{}, ykd.Codec{})
+	app, err := receiver.Incoming(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil || len(app) != 0 {
+		t.Errorf("empty payload round-trips as %v, want empty non-nil", app)
+	}
+}
+
+func TestPiggybackCorruptInput(t *testing.T) {
+	receiver := core.NewPiggyback(&fake{}, ykd.Codec{})
+	for i, data := range [][]byte{nil, {0xFF}, {3, 1, 0}, {1, 1, 99}} {
+		if _, err := receiver.Incoming(0, data); err == nil && data != nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestPiggybackViewChangedForwards(t *testing.T) {
+	alg := &fake{}
+	pb := core.NewPiggyback(alg, ykd.Codec{})
+	v := view.View{ID: 4, Members: proc.NewSet(0, 1)}
+	pb.ViewChanged(v)
+	if len(alg.views) != 1 || alg.views[0].ID != 4 {
+		t.Errorf("views = %v", alg.views)
+	}
+	alg.primary = true
+	if !pb.InPrimary() {
+		t.Error("InPrimary not forwarded")
+	}
+	if pb.Algorithm() != core.Algorithm(alg) {
+		t.Error("Algorithm accessor wrong")
+	}
+}

@@ -1,0 +1,29 @@
+// Package dfls exposes the dynamic voting variant of De Prisco,
+// Fekete, Lynch and Shvartsman (thesis §3.2.2): unoptimized YKD that
+// deletes ambiguous sessions only after an extra message-exchange
+// round in the newly formed primary. The three-round protocol is more
+// likely to be interrupted, and the retained sessions constrain later
+// primary choices — which is why it trails YKD by roughly 3% in the
+// availability study.
+//
+// The state machine lives in package ykd (the variants share it); this
+// package pins the DFLS configuration.
+package dfls
+
+import (
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// Name is the algorithm identifier used in experiment output.
+const Name = "dfls"
+
+// New returns a DFLS instance for process self.
+func New(self proc.ID, initial view.View) *ykd.Algorithm {
+	return ykd.New(ykd.VariantDFLS, self, initial)
+}
+
+// Factory returns the host-facing description of DFLS.
+func Factory() core.Factory { return ykd.Factory(ykd.VariantDFLS) }

@@ -1,0 +1,47 @@
+package dfls_test
+
+import (
+	"testing"
+
+	"dynvote/internal/dfls"
+	"dynvote/internal/proc"
+	"dynvote/internal/simtest"
+	"dynvote/internal/view"
+)
+
+func TestFactoryPinsDFLS(t *testing.T) {
+	f := dfls.Factory()
+	if f.Name != dfls.Name {
+		t.Fatalf("factory name = %q, want %q", f.Name, dfls.Name)
+	}
+	if f.Name != "dfls" {
+		t.Fatalf("factory name = %q", f.Name)
+	}
+	alg := f.New(0, view.View{ID: 0, Members: proc.Universe(3)})
+	if alg.Name() != "dfls" {
+		t.Errorf("instance name = %q", alg.Name())
+	}
+	if f.Codec == nil {
+		t.Error("dfls factory must carry the ykd codec")
+	}
+}
+
+func TestNewBehavesLikeDFLS(t *testing.T) {
+	direct := dfls.New(2, view.View{ID: 0, Members: proc.Universe(4)})
+	if direct.Name() != "dfls" || !direct.InPrimary() {
+		t.Errorf("New() instance wrong: %q, %v", direct.Name(), direct.InPrimary())
+	}
+}
+
+// The defining three-round behaviour, driven through the factory: a
+// formed primary still holds its ambiguous session until the flush
+// round completes.
+func TestThreeRoundDeletion(t *testing.T) {
+	h := simtest.New(t, dfls.Factory(), 4)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3})
+	h.WantPrimary(0, true)
+	// Uninterrupted: flush completed, sessions cleared.
+	if got := h.Ambiguous(0); got != 0 {
+		t.Errorf("ambiguous after flush = %d, want 0", got)
+	}
+}

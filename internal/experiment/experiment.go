@@ -1,0 +1,193 @@
+// Package experiment defines and runs the measurement campaigns of
+// thesis Chapter 4: availability sweeps (fresh-start and cascading),
+// ambiguous-session measurements, the 32/48/64 scaling check, the
+// paired YKD-vs-DFLS comparison and the message-size accounting. Every
+// figure of the thesis maps to one FigureSpec here; cmd/figures and
+// the repository benchmarks are thin layers over this package.
+package experiment
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/stats"
+)
+
+// Mode distinguishes the two test styles of §4.1.
+type Mode int
+
+const (
+	// FreshStart: each run begins brand-new in the original state.
+	FreshStart Mode = iota + 1
+	// Cascading: each run begins where the previous one ended.
+	Cascading
+)
+
+// String returns "fresh-start" or "cascading".
+func (m Mode) String() string {
+	switch m {
+	case FreshStart:
+		return "fresh-start"
+	case Cascading:
+		return "cascading"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// CaseSpec identifies one measurement cell: an algorithm, a number of
+// connectivity changes, and a change rate, simulated over Runs
+// randomized runs (the thesis uses 1000 runs per case).
+type CaseSpec struct {
+	Factory    core.Factory
+	Procs      int
+	Changes    int
+	MeanRounds float64
+	Runs       int
+	Mode       Mode
+	Seed       int64
+	// MeasureSizes additionally collects the §3.4 message-size maxima.
+	MeasureSizes bool
+	// CheckSafety runs the invariant checker during every run.
+	CheckSafety bool
+}
+
+// CaseResult aggregates a case's runs.
+type CaseResult struct {
+	Algorithm    string
+	MeanRounds   float64
+	Availability stats.Availability
+	// Stable histograms ambiguous sessions retained at the end of each
+	// run (Figure 4-7).
+	Stable stats.Histogram
+	// InProgress histograms ambiguous sessions held at each
+	// connectivity change (Figure 4-8).
+	InProgress stats.Histogram
+	// Reform histograms the rounds needed to re-establish a primary
+	// after the last change of each run (successful runs only).
+	Reform stats.Histogram
+	// NeverReformed counts runs where no primary was re-established.
+	NeverReformed int
+	// Sizes carries message-size maxima when MeasureSizes was set.
+	Sizes stats.MaxTracker
+}
+
+// runSeed derives the per-run random source. It deliberately does NOT
+// depend on the algorithm: the thesis tests every algorithm against
+// the same random sequence (§4.1).
+func runSeed(root *rng.Source, spec CaseSpec, run int) *rng.Source {
+	return root.ChildLabel("run",
+		int64(spec.Procs), int64(spec.Changes),
+		int64(spec.MeanRounds*1e6), int64(spec.Mode), int64(run))
+}
+
+func (spec CaseSpec) config() sim.Config {
+	return sim.Config{
+		Procs:        spec.Procs,
+		Changes:      spec.Changes,
+		MeanRounds:   spec.MeanRounds,
+		MeasureSizes: spec.MeasureSizes,
+		CheckSafety:  spec.CheckSafety,
+	}
+}
+
+// RunCase executes one measurement cell.
+func RunCase(spec CaseSpec) (CaseResult, error) {
+	res := CaseResult{Algorithm: spec.Factory.Name, MeanRounds: spec.MeanRounds}
+	root := rng.New(spec.Seed)
+
+	record := func(r sim.RunResult) {
+		res.Availability.Record(r.PrimaryFormed)
+		res.Stable.Add(r.AmbiguousAtEnd)
+		for _, n := range r.AmbiguousAtChanges {
+			res.InProgress.Add(n)
+		}
+		if r.ReformRounds >= 0 {
+			res.Reform.Add(r.ReformRounds)
+		} else {
+			res.NeverReformed++
+		}
+		res.Sizes.Record(r.MaxMessageBytes, r.MaxRoundBytes)
+	}
+
+	switch spec.Mode {
+	case Cascading:
+		// Cascading runs carry the algorithms' state forward; the
+		// network itself heals between turbulence bursts (see
+		// sim.Driver.Heal), and the healing exchange races the next
+		// run's changes.
+		d := sim.NewDriver(spec.Factory, spec.config(), runSeed(root, spec, 0))
+		for run := 0; run < spec.Runs; run++ {
+			d.Heal()
+			r, err := d.Run()
+			if err != nil {
+				return res, fmt.Errorf("%s cascading run %d: %w", spec.Factory.Name, run, err)
+			}
+			record(r)
+		}
+	default: // FreshStart
+		for run := 0; run < spec.Runs; run++ {
+			d := sim.NewDriver(spec.Factory, spec.config(), runSeed(root, spec, run))
+			r, err := d.Run()
+			if err != nil {
+				return res, fmt.Errorf("%s fresh run %d: %w", spec.Factory.Name, run, err)
+			}
+			record(r)
+		}
+	}
+	return res, nil
+}
+
+// PairedResult reports a run-by-run comparison of two algorithms on
+// identical random sequences — the measurement behind the "YKD
+// succeeds where DFLS does not in ≈3% of runs" claim (§4.1).
+type PairedResult struct {
+	Both       int // both formed a primary
+	OnlyFirst  int // first formed, second did not
+	OnlySecond int
+	Neither    int
+	Runs       int
+}
+
+// FirstAdvantagePercent returns the percentage of runs only the first
+// algorithm succeeded in.
+func (p PairedResult) FirstAdvantagePercent() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(p.OnlyFirst) / float64(p.Runs)
+}
+
+// RunPaired runs two algorithms over the same random sequences and
+// tallies run-by-run agreement. The spec's Factory field is ignored.
+func RunPaired(first, second core.Factory, spec CaseSpec) (PairedResult, error) {
+	var out PairedResult
+	root := rng.New(spec.Seed)
+	for run := 0; run < spec.Runs; run++ {
+		formed := make([]bool, 2)
+		for i, f := range []core.Factory{first, second} {
+			s := spec
+			s.Factory = f
+			d := sim.NewDriver(f, s.config(), runSeed(root, s, run))
+			r, err := d.Run()
+			if err != nil {
+				return out, fmt.Errorf("%s paired run %d: %w", f.Name, run, err)
+			}
+			formed[i] = r.PrimaryFormed
+		}
+		out.Runs++
+		switch {
+		case formed[0] && formed[1]:
+			out.Both++
+		case formed[0]:
+			out.OnlyFirst++
+		case formed[1]:
+			out.OnlySecond++
+		default:
+			out.Neither++
+		}
+	}
+	return out, nil
+}

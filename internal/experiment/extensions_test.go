@@ -1,0 +1,116 @@
+package experiment_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynvote/internal/experiment"
+	"dynvote/internal/proc"
+)
+
+func TestCrashStudy(t *testing.T) {
+	spec := experiment.CrashStudySpec{
+		Procs: 16, Changes: 8, MeanRounds: 1.5, Runs: 60, Seed: 7,
+		Victim: 0, AfterChanges: 2,
+	}
+	rows, err := experiment.RunCrashStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]experiment.CrashStudyRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.Baseline < 0 || r.Baseline > 100 || r.Crashed < 0 || r.Crashed > 100 {
+			t.Errorf("%s: out-of-range percentages %+v", r.Algorithm, r)
+		}
+	}
+	// The thesis's eternal-blocking mechanism: the crash must hurt
+	// 1-pending at least as much as YKD.
+	ykdDelta := byName["ykd"].Baseline - byName["ykd"].Crashed
+	opDelta := byName["1-pending"].Baseline - byName["1-pending"].Crashed
+	if opDelta < ykdDelta-8 { // tolerance for 60-run noise
+		t.Errorf("crash hurt ykd (Δ%.1f) more than 1-pending (Δ%.1f)", ykdDelta, opDelta)
+	}
+
+	out := experiment.RenderCrashStudy(spec, rows)
+	for _, want := range []string{"Crash study", "tie-breaker", "ykd", "simple-majority"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCrashStudyRandomVictimRenders(t *testing.T) {
+	spec := experiment.CrashStudySpec{
+		Procs: 8, Changes: 4, MeanRounds: 2, Runs: 10, Seed: 3,
+		Victim: proc.None, AfterChanges: 1,
+	}
+	rows, err := experiment.RunCrashStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := experiment.RenderCrashStudy(spec, rows)
+	if !strings.Contains(out, "random process") {
+		t.Errorf("render missing victim description:\n%s", out)
+	}
+}
+
+func TestTimingStudy(t *testing.T) {
+	spec := experiment.TimingStudySpec{
+		Procs: 16, Changes: 8, MeanRounds: 2, Runs: 40, Seed: 9,
+	}
+	rows, err := experiment.RunTimingStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, pct := range []float64{r.Geometric, r.Periodic, r.Clustered} {
+			if pct < 0 || pct > 100 {
+				t.Errorf("%s: out-of-range %+v", r.Algorithm, r)
+			}
+		}
+	}
+	out := experiment.RenderTimingStudy(spec, rows)
+	for _, want := range []string{"geometric", "periodic", "clustered", "ykd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestLatencyStudy(t *testing.T) {
+	spec := experiment.LatencyStudySpec{
+		Procs: 16, Changes: 8, MeanRounds: 2, Runs: 60, Seed: 5,
+	}
+	rows, err := experiment.RunLatencyStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]experiment.LatencyStudyRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.MeanRounds < 0 || r.NeverPercent < 0 || r.NeverPercent > 100 {
+			t.Errorf("%s: out of range %+v", r.Algorithm, r)
+		}
+	}
+	// Simple majority exchanges no messages: zero latency by
+	// construction.
+	if byName["simple-majority"].MeanRounds != 0 {
+		t.Errorf("simple-majority latency = %v, want 0", byName["simple-majority"].MeanRounds)
+	}
+	// MR1p's five-round protocol must cost more rounds than YKD's two.
+	if byName["mr1p"].MeanRounds <= byName["ykd"].MeanRounds {
+		t.Errorf("mr1p latency (%.2f) should exceed ykd's (%.2f)",
+			byName["mr1p"].MeanRounds, byName["ykd"].MeanRounds)
+	}
+	out := experiment.RenderLatencyStudy(spec, rows)
+	if !strings.Contains(out, "Re-formation latency") || !strings.Contains(out, "mr1p") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+}

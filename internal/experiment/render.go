@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"dynvote/internal/stats"
+)
+
+// RenderAvailabilityTable renders one availability figure as a text
+// table: one row per swept rate, one column per algorithm, matching
+// the series of Figures 4-1 through 4-6.
+func RenderAvailabilityTable(caption string, sweep SweepSpec, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	fmt.Fprintf(&b, "%d processes, %d runs/case; availability %%\n\n", sweep.Procs, sweep.Runs)
+
+	fmt.Fprintf(&b, "%-22s", "mean rounds between")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Algorithm)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-22s", "connectivity changes")
+	for range series {
+		fmt.Fprintf(&b, " %14s", "")
+	}
+	b.WriteByte('\n')
+
+	for i, rate := range sweep.Rates {
+		fmt.Fprintf(&b, "%-22.1f", rate)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %13.1f%%", s.Points[i].Availability.Percent())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderAvailabilityCSV renders the same data as CSV with a header
+// row: rate, then one column per algorithm.
+func RenderAvailabilityCSV(sweep SweepSpec, series []Series) string {
+	var b strings.Builder
+	b.WriteString("mean_rounds")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Algorithm)
+	}
+	b.WriteByte('\n')
+	for i, rate := range sweep.Rates {
+		fmt.Fprintf(&b, "%.2f", rate)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.2f", s.Points[i].Availability.Percent())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// histogramOf selects the stable or in-progress histogram of a point.
+func histogramOf(p *CaseResult, stable bool) *stats.Histogram {
+	if stable {
+		return &p.Stable
+	}
+	return &p.InProgress
+}
+
+// RenderAmbiguityTable renders one panel of Figure 4-7 (stable=true)
+// or 4-8 (stable=false): for each rate and algorithm, the percentage
+// of samples retaining 1, 2, 3 and 4+ ambiguous sessions, plus the
+// maximum ever observed.
+func RenderAmbiguityTable(caption string, sweep SweepSpec, series []Series, stable bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d connectivity changes\n", caption, sweep.Changes)
+	fmt.Fprintf(&b, "%d processes, %d runs/case; %% of samples retaining N ambiguous sessions\n\n",
+		sweep.Procs, sweep.Runs)
+
+	fmt.Fprintf(&b, "%-6s %-12s %8s %8s %8s %8s %8s %5s\n",
+		"rate", "algorithm", "≥1", "=1", "=2", "=3", "4+", "max")
+	for i, rate := range sweep.Rates {
+		for _, s := range series {
+			h := histogramOf(&s.Points[i], stable)
+			fmt.Fprintf(&b, "%-6.1f %-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %5d\n",
+				rate, s.Algorithm,
+				h.PercentAtLeast(1), h.Percent(1), h.Percent(2), h.Percent(3),
+				h.PercentAtLeast(4), h.Max())
+		}
+	}
+	return b.String()
+}
+
+// RenderAmbiguityCSV renders one panel as CSV.
+func RenderAmbiguityCSV(sweep SweepSpec, series []Series, stable bool) string {
+	var b strings.Builder
+	b.WriteString("mean_rounds,algorithm,pct_ge1,pct_1,pct_2,pct_3,pct_ge4,max\n")
+	for i, rate := range sweep.Rates {
+		for _, s := range series {
+			h := histogramOf(&s.Points[i], stable)
+			fmt.Fprintf(&b, "%.2f,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n",
+				rate, s.Algorithm,
+				h.PercentAtLeast(1), h.Percent(1), h.Percent(2), h.Percent(3),
+				h.PercentAtLeast(4), h.Max())
+		}
+	}
+	return b.String()
+}
+
+// RenderAvailabilityBars renders a quick ASCII visualization of one
+// algorithm's availability series, for terminal inspection.
+func RenderAvailabilityBars(sweep SweepSpec, s Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Algorithm)
+	for i, rate := range sweep.Rates {
+		pct := s.Points[i].Availability.Percent()
+		bar := strings.Repeat("#", int(pct/2+0.5))
+		fmt.Fprintf(&b, "%5.1f |%-50s| %5.1f%%\n", rate, bar, pct)
+	}
+	return b.String()
+}

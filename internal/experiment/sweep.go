@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynvote/internal/core"
+)
+
+// SweepSpec is a full figure's workload: several algorithms, a fixed
+// number of connectivity changes, and a sweep over change rates.
+type SweepSpec struct {
+	Factories []core.Factory
+	Procs     int
+	Changes   int
+	// Rates is the x-axis: mean message rounds between connectivity
+	// changes.
+	Rates []float64
+	Runs  int
+	Mode  Mode
+	Seed  int64
+	// MeasureSizes additionally collects message-size maxima.
+	MeasureSizes bool
+	// Progress, when non-nil, receives one line per completed case.
+	Progress func(string)
+}
+
+// Series is one algorithm's line in a figure: a result per swept rate.
+type Series struct {
+	Algorithm string
+	Points    []CaseResult
+}
+
+// RunSweep executes every (algorithm, rate) case of the sweep,
+// spreading cases across CPUs, and returns one series per algorithm in
+// the order the factories were given.
+func RunSweep(spec SweepSpec) ([]Series, error) {
+	type cell struct {
+		alg, rate int
+	}
+	cells := make([]cell, 0, len(spec.Factories)*len(spec.Rates))
+	for a := range spec.Factories {
+		for r := range spec.Rates {
+			cells = append(cells, cell{alg: a, rate: r})
+		}
+	}
+
+	series := make([]Series, len(spec.Factories))
+	for a, f := range spec.Factories {
+		series[a] = Series{Algorithm: f.Name, Points: make([]CaseResult, len(spec.Rates))}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(cells) {
+					mu.Unlock()
+					return
+				}
+				c := cells[next]
+				next++
+				mu.Unlock()
+
+				cs := CaseSpec{
+					Factory:      spec.Factories[c.alg],
+					Procs:        spec.Procs,
+					Changes:      spec.Changes,
+					MeanRounds:   spec.Rates[c.rate],
+					Runs:         spec.Runs,
+					Mode:         spec.Mode,
+					Seed:         spec.Seed,
+					MeasureSizes: spec.MeasureSizes,
+				}
+				res, err := RunCase(cs)
+
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				} else {
+					series[c.alg].Points[c.rate] = res
+					if spec.Progress != nil {
+						spec.Progress(fmt.Sprintf("%-16s rate=%-5.1f %s",
+							res.Algorithm, res.MeanRounds, res.Availability))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return series, nil
+}

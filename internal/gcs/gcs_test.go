@@ -1,0 +1,520 @@
+package gcs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynvote/internal/gcs"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/proc"
+	"dynvote/internal/ykd"
+)
+
+// memCluster is a running in-memory gcs cluster for tests.
+type memCluster struct {
+	net   *gcs.MemNetwork
+	nodes []*gcs.Node
+
+	mu   sync.Mutex
+	apps map[proc.ID][]string
+}
+
+func startMemCluster(t *testing.T, n int, variant ykd.Variant) *memCluster {
+	t.Helper()
+	mc := &memCluster{net: gcs.NewMemNetwork(n), apps: make(map[proc.ID][]string)}
+	for i := 0; i < n; i++ {
+		id := proc.ID(i)
+		node, err := gcs.NewNode(gcs.Config{
+			ID:        id,
+			N:         n,
+			Transport: mc.net.Transport(id),
+			Algorithm: ykd.Factory(variant),
+			OnEvent: func(ev gcs.Event) {
+				if ev.Kind == gcs.EventApp {
+					mc.mu.Lock()
+					mc.apps[id] = append(mc.apps[id], string(ev.Payload))
+					mc.mu.Unlock()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Run()
+		mc.nodes = append(mc.nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, n := range mc.nodes {
+			n.Stop()
+		}
+	})
+	return mc
+}
+
+func (mc *memCluster) appLog(id proc.ID) []string {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	out := make([]string, len(mc.apps[id]))
+	copy(out, mc.apps[id])
+	return out
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+func primaries(nodes []*gcs.Node, want map[int]bool) func() bool {
+	return func() bool {
+		for i, w := range want {
+			if nodes[i].InPrimary() != w {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestInitialPrimaryEverywhere(t *testing.T) {
+	mc := startMemCluster(t, 5, ykd.VariantYKD)
+	eventually(t, "all nodes start in primary", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}))
+}
+
+func TestPartitionMovesPrimary(t *testing.T) {
+	mc := startMemCluster(t, 5, ykd.VariantYKD)
+	if err := mc.net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "majority side primary, minority not", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: false, 4: false}))
+
+	// Heal: everyone rejoins the primary.
+	if err := mc.net.SetComponents(proc.Universe(5)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "all primary after heal", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}))
+}
+
+func TestDynamicVotingShrinksOverGCS(t *testing.T) {
+	mc := startMemCluster(t, 8, ykd.VariantYKD)
+	if err := mc.net.SetComponents(proc.NewSet(0, 1, 2, 3, 4), proc.NewSet(5, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "first shrink", primaries(mc.nodes, map[int]bool{0: true, 5: false}))
+
+	if err := mc.net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4), proc.NewSet(5, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// {0,1,2} is 3 of the previous 5-member primary but only 3 of 8
+	// overall: only dynamic voting keeps it primary.
+	eventually(t, "second shrink", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: false, 5: false}))
+}
+
+func TestMR1pOverGCS(t *testing.T) {
+	n := 5
+	mc := &memCluster{net: gcs.NewMemNetwork(n), apps: make(map[proc.ID][]string)}
+	for i := 0; i < n; i++ {
+		id := proc.ID(i)
+		node, err := gcs.NewNode(gcs.Config{
+			ID: id, N: n, Transport: mc.net.Transport(id), Algorithm: mr1p.Factory(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Run()
+		mc.nodes = append(mc.nodes, node)
+	}
+	defer func() {
+		for _, nd := range mc.nodes {
+			nd.Stop()
+		}
+	}()
+
+	if err := mc.net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "mr1p majority side primary", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: false, 4: false}))
+}
+
+func TestApplicationBroadcastPiggybacks(t *testing.T) {
+	mc := startMemCluster(t, 3, ykd.VariantYKD)
+	eventually(t, "stable start", primaries(mc.nodes, map[int]bool{0: true, 2: true}))
+
+	if err := mc.nodes[0].Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "payload delivered everywhere, sender included", func() bool {
+		for i := 0; i < 3; i++ {
+			log := mc.appLog(proc.ID(i))
+			if len(log) != 1 || log[0] != "hello" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestGarbageFramesIgnored(t *testing.T) {
+	mc := startMemCluster(t, 3, ykd.VariantYKD)
+	// Inject garbage directly at node 0's transport.
+	tr := mc.net.Transport(1)
+	for _, junk := range [][]byte{nil, {0}, {99, 1, 2, 3}, {2 /* bundle */, 0xFF}} {
+		if err := tr.Send(0, junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cluster still works.
+	if err := mc.net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "survives garbage", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: false}))
+}
+
+func TestViewSynchronousSafetyUnderChurn(t *testing.T) {
+	mc := startMemCluster(t, 6, ykd.VariantYKD)
+	splits := [][]proc.Set{
+		{proc.NewSet(0, 1, 2, 3), proc.NewSet(4, 5)},
+		{proc.NewSet(0, 1), proc.NewSet(2, 3), proc.NewSet(4, 5)},
+		{proc.NewSet(0, 1, 2, 3, 4, 5)},
+		{proc.NewSet(0, 2, 4), proc.NewSet(1, 3, 5)},
+		{proc.NewSet(0, 1, 2, 3, 4, 5)},
+	}
+	for _, comps := range splits {
+		if err := mc.net.SetComponents(comps...); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+		// At no observable moment may two disjoint groups both have
+		// all members in primary. Sample aggressively.
+		for k := 0; k < 20; k++ {
+			assertAtMostOnePrimaryComponent(t, mc)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	eventually(t, "final heal converges", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}))
+}
+
+func assertAtMostOnePrimaryComponent(t *testing.T, mc *memCluster) {
+	t.Helper()
+	// Group nodes by installed view; a view counts as primary if all
+	// its present members report primary.
+	byView := make(map[int64]struct {
+		members proc.Set
+		inP     int
+		total   int
+	})
+	for i, nd := range mc.nodes {
+		v := nd.CurrentView()
+		e := byView[v.ID]
+		e.members = v.Members
+		e.total++
+		if nd.InPrimary() {
+			e.inP++
+		}
+		_ = i
+		byView[v.ID] = e
+	}
+	count := 0
+	for _, e := range byView {
+		if e.total > 0 && e.inP == e.total && e.inP == e.members.Count() {
+			count++
+		}
+	}
+	if count > 1 {
+		t.Fatalf("%d primary components observed concurrently", count)
+	}
+}
+
+func TestTCPClusterFormsAndPartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster test")
+	}
+	const n = 5
+	transports := make([]*gcs.TCPTransport, n)
+	addrs := make(map[proc.ID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := gcs.NewTCPTransport(gcs.TCPConfig{
+			ID:             proc.ID(i),
+			OwnAddr:        "127.0.0.1:0",
+			HeartbeatEvery: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		addrs[proc.ID(i)] = tr.Addr()
+	}
+	for _, tr := range transports {
+		tr.SetPeers(addrs)
+	}
+
+	nodes := make([]*gcs.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := gcs.NewNode(gcs.Config{
+			ID: proc.ID(i), N: n, Transport: transports[i],
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Run()
+		nodes[i] = node
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	eventually(t, "tcp cluster converges to all-primary", func() bool {
+		for _, nd := range nodes {
+			if !nd.InPrimary() || nd.CurrentView().Size() != n {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Partition {0,1,2} | {3,4} by blocking at both sides.
+	for i := 0; i < 3; i++ {
+		transports[i].Block(3, 4)
+	}
+	transports[3].Block(0, 1, 2)
+	transports[4].Block(0, 1, 2)
+
+	eventually(t, "tcp majority side primary", func() bool {
+		return nodes[0].InPrimary() && nodes[1].InPrimary() && nodes[2].InPrimary() &&
+			!nodes[3].InPrimary() && !nodes[4].InPrimary()
+	})
+
+	// Heal.
+	for i := 0; i < n; i++ {
+		transports[i].Block()
+	}
+	eventually(t, "tcp heal converges", func() bool {
+		for _, nd := range nodes {
+			if !nd.InPrimary() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	net := gcs.NewMemNetwork(2)
+	cases := []gcs.Config{
+		{ID: 0, N: 0, Transport: net.Transport(0), Algorithm: ykd.Factory(ykd.VariantYKD)},
+		{ID: 5, N: 2, Transport: net.Transport(0), Algorithm: ykd.Factory(ykd.VariantYKD)},
+		{ID: 0, N: 2, Transport: nil, Algorithm: ykd.Factory(ykd.VariantYKD)},
+	}
+	for i, cfg := range cases {
+		if _, err := gcs.NewNode(cfg); err == nil {
+			t.Errorf("case %d: NewNode accepted bad config", i)
+		}
+	}
+}
+
+func TestMemNetworkRejectsPartialComponents(t *testing.T) {
+	net := gcs.NewMemNetwork(4)
+	if err := net.SetComponents(proc.NewSet(0, 1)); err == nil {
+		t.Error("SetComponents accepted a non-covering partition")
+	}
+}
+
+func ExampleNode() {
+	// Three processes over an in-memory network; partition and check
+	// who keeps the primary component.
+	net := gcs.NewMemNetwork(3)
+	nodes := make([]*gcs.Node, 3)
+	for i := range nodes {
+		n, err := gcs.NewNode(gcs.Config{
+			ID: proc.ID(i), N: 3,
+			Transport: net.Transport(proc.ID(i)),
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		n.Run()
+		nodes[i] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	_ = net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[0].InPrimary() && nodes[1].InPrimary() && !nodes[2].InPrimary() {
+			fmt.Println("majority side kept the primary")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("timed out")
+	// Output: majority side kept the primary
+}
+
+// TestNodeRestartWithSnapshot: a node stops, its durable state is
+// snapshotted (stable storage), and a new incarnation restores it and
+// rejoins without forgetting which primaries it helped form.
+func TestNodeRestartWithSnapshot(t *testing.T) {
+	mc := startMemCluster(t, 5, ykd.VariantYKD)
+	// Shrink the primary so durable state is non-trivial.
+	if err := mc.net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "shrunken primary", primaries(mc.nodes, map[int]bool{0: true, 3: false}))
+
+	// Node 2 "crashes": isolate it, stop it, snapshot its state.
+	if err := mc.net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "majority side reforms without 2", primaries(mc.nodes, map[int]bool{0: true, 1: true}))
+	mc.nodes[2].Stop()
+	snap, err := mc.nodes[2].Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.nodes[2].Snapshot(); err != nil {
+		t.Fatal("second snapshot should also work:", err)
+	}
+
+	// New incarnation restores the snapshot and rejoins everyone.
+	restarted, err := gcs.NewNode(gcs.Config{
+		ID: 2, N: 5,
+		Transport: mc.net.Transport(2),
+		Algorithm: ykd.Factory(ykd.VariantYKD),
+		Restore:   snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted.Run()
+	mc.nodes[2] = restarted
+
+	if err := mc.net.SetComponents(proc.Universe(5)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "restarted node rejoins the primary", primaries(mc.nodes,
+		map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}))
+}
+
+func TestSnapshotRequiresStoppedNode(t *testing.T) {
+	mc := startMemCluster(t, 3, ykd.VariantYKD)
+	if _, err := mc.nodes[0].Snapshot(); err == nil {
+		t.Error("Snapshot on a running node accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	net := gcs.NewMemNetwork(3)
+	_, err := gcs.NewNode(gcs.Config{
+		ID: 0, N: 3,
+		Transport: net.Transport(0),
+		Algorithm: ykd.Factory(ykd.VariantYKD),
+		Restore:   []byte{0xFF, 0x01},
+	})
+	if err == nil {
+		t.Error("garbage restore accepted")
+	}
+}
+
+// TestFDFirstReadingPublishes is the regression test for a failure-
+// detector bootstrap bug: a node that starts already partitioned from
+// everyone computes reach = {self}, equal to the optimistic initial
+// value — it must still get that first event, or it would trust its
+// assumed-connected initial view forever.
+func TestFDFirstReadingPublishes(t *testing.T) {
+	tr, err := gcs.NewTCPTransport(gcs.TCPConfig{
+		ID: 0, OwnAddr: "127.0.0.1:0",
+		HeartbeatEvery: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// No peers at all: the first reading is {p0} and must arrive.
+	select {
+	case reach := <-tr.Reachability():
+		if !reach.Equal(proc.NewSet(0)) {
+			t.Errorf("first reading = %v, want {p0}", reach)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("failure detector never published its first reading")
+	}
+}
+
+// TestStartupInsidePartition drives the full node stack through the
+// same scenario: a cluster partitioned before any heartbeat flows must
+// still reconcile — the detached node may not keep claiming the
+// initial all-connected primary.
+func TestStartupInsidePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP timing test")
+	}
+	const n = 3
+	transports := make([]*gcs.TCPTransport, n)
+	addrs := make(map[proc.ID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := gcs.NewTCPTransport(gcs.TCPConfig{
+			ID: proc.ID(i), OwnAddr: "127.0.0.1:0",
+			HeartbeatEvery: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		addrs[proc.ID(i)] = tr.Addr()
+	}
+	// Partition {0,1} | {2} before peers are even registered.
+	transports[0].Block(2)
+	transports[1].Block(2)
+	transports[2].Block(0, 1)
+	for _, tr := range transports {
+		tr.SetPeers(addrs)
+	}
+
+	nodes := make([]*gcs.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := gcs.NewNode(gcs.Config{
+			ID: proc.ID(i), N: n, Transport: transports[i],
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Run()
+		nodes[i] = node
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	eventually(t, "majority side forms, detached node steps down", func() bool {
+		return nodes[0].InPrimary() && nodes[1].InPrimary() &&
+			!nodes[2].InPrimary() && nodes[2].CurrentView().Size() == 1
+	})
+}

@@ -1,0 +1,393 @@
+package gcs
+
+import (
+	"fmt"
+	"sync"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/wire"
+)
+
+// Frame kinds on the wire.
+const (
+	frameView byte = iota + 1 // leader's view announcement
+	frameBundle
+	frameViewNack // "your announcement is stale; I have seen view N"
+)
+
+// EventKind classifies node events.
+type EventKind int
+
+const (
+	// EventView: a new view was installed.
+	EventView EventKind = iota + 1
+	// EventApp: an application payload was delivered.
+	EventApp
+	// EventPrimary: the node's primary-component status changed.
+	EventPrimary
+)
+
+// Event is a notification from the node's event loop. Handlers run on
+// the loop goroutine and must not block.
+type Event struct {
+	Kind    EventKind
+	View    view.View
+	From    proc.ID
+	Payload []byte
+	Primary bool
+}
+
+// Config assembles a Node.
+type Config struct {
+	// ID is this process's identity; processes are numbered 0..N-1.
+	ID proc.ID
+	// N is the total number of processes in the system.
+	N int
+	// Transport carries frames and failure-detector events.
+	Transport Transport
+	// Algorithm chooses the primary component algorithm variant.
+	Algorithm core.Factory
+	// OnEvent, when non-nil, receives node events from the loop
+	// goroutine.
+	OnEvent func(Event)
+	// Restore, when non-nil, is a durable-state snapshot (from
+	// Node.Snapshot of a previous incarnation) to restore before the
+	// node starts — how a process rejoins after a crash without
+	// forgetting which primaries it helped form.
+	Restore []byte
+}
+
+// Node hosts a primary component algorithm over a Transport: it runs
+// the membership protocol, broadcasts the algorithm's messages, and
+// piggybacks application payloads onto the same frames, exactly as the
+// thesis's application interface prescribes (Figure 2-2).
+type Node struct {
+	cfg   Config
+	alg   core.Algorithm
+	pb    *core.Piggyback
+	sends chan []byte
+
+	mu        sync.Mutex // guards the snapshot fields below
+	curView   view.View
+	inPrimary bool
+
+	// early buffers bundles that arrive before their view is
+	// installed here: members install a new view at slightly
+	// different moments, and a fast member's state exchange must not
+	// be lost to a slow one. Keyed by view ID; bounded.
+	early      map[int64][]Frame
+	earlyTotal int
+
+	// maxSeenViewID tracks the highest view ID this node has heard of
+	// — including via stale-view NACKs — so a leader whose process ID
+	// composes smaller view IDs can still outbid a view it was never
+	// a member of. lastReach remembers the latest failure-detector
+	// report for re-announcements.
+	maxSeenViewID int64
+	lastReach     proc.Set
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewNode builds a node; Run starts it.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.N <= 0 || cfg.ID < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("gcs: bad identity %v of %d", cfg.ID, cfg.N)
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("gcs: transport required")
+	}
+	all := proc.Universe(cfg.N)
+	initial := view.View{ID: 0, Members: all}
+	alg := cfg.Algorithm.New(cfg.ID, initial)
+	if cfg.Restore != nil {
+		snap, ok := alg.(core.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("gcs: %s does not support state restore", cfg.Algorithm.Name)
+		}
+		if err := snap.Restore(cfg.Restore); err != nil {
+			return nil, fmt.Errorf("gcs: restore: %w", err)
+		}
+	}
+	return &Node{
+		cfg:       cfg,
+		alg:       alg,
+		pb:        core.NewPiggyback(alg, cfg.Algorithm.Codec),
+		sends:     make(chan []byte, 64),
+		early:     make(map[int64][]Frame),
+		curView:   initial,
+		inPrimary: alg.InPrimary(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Run starts the event loop. Stop shuts it down and waits for exit.
+func (n *Node) Run() { go n.loop() }
+
+// Stop signals the loop to exit and waits for it.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+// Snapshot captures the algorithm's durable state after stopping the
+// node, suitable for Config.Restore in a later incarnation. It fails
+// for algorithms without persistence support. Call only after Stop —
+// the algorithm is not safe to read while the loop runs.
+func (n *Node) Snapshot() ([]byte, error) {
+	select {
+	case <-n.done:
+	default:
+		return nil, fmt.Errorf("gcs: Snapshot requires a stopped node")
+	}
+	snap, ok := n.alg.(core.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("gcs: %s does not support snapshots", n.alg.Name())
+	}
+	return snap.Snapshot()
+}
+
+// InPrimary reports whether this process currently belongs to the
+// primary component.
+func (n *Node) InPrimary() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inPrimary
+}
+
+// CurrentView returns the installed view.
+func (n *Node) CurrentView() view.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.curView
+}
+
+// Broadcast queues an application payload for delivery to the current
+// view, riding the same frames as the algorithm's traffic.
+func (n *Node) Broadcast(payload []byte) error {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	select {
+	case n.sends <- buf:
+		return nil
+	case <-n.stop:
+		return fmt.Errorf("gcs: node stopped")
+	}
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			_ = n.cfg.Transport.Close()
+			return
+		case reach := <-n.cfg.Transport.Reachability():
+			n.onReachability(reach)
+		case f := <-n.cfg.Transport.Frames():
+			n.onFrame(f)
+		case payload := <-n.sends:
+			n.flush(payload)
+		}
+	}
+}
+
+// onReachability runs the membership step: the smallest reachable
+// process leads; a leader announces a fresh view to its component.
+func (n *Node) onReachability(reach proc.Set) {
+	if !reach.Contains(n.cfg.ID) {
+		reach = reach.With(n.cfg.ID)
+	}
+	n.lastReach = reach
+	if reach.Smallest() != n.cfg.ID {
+		return // a smaller process will lead and announce the view
+	}
+	v := view.View{ID: n.nextViewID(), Members: reach}
+	var w wire.Writer
+	w.Byte(frameView)
+	w.Varint(v.ID)
+	w.Set(v.Members)
+	n.broadcastRaw(v.Members, w.Bytes())
+	n.installView(v)
+}
+
+// nextViewID composes a view identifier that is strictly increasing at
+// this leader and globally unique: the high bits carry an epoch above
+// every view this leader has seen or been told about, the low bits its
+// process ID, so concurrent leaders in disjoint components never
+// collide.
+func (n *Node) nextViewID() int64 {
+	n.mu.Lock()
+	base := n.curView.ID
+	n.mu.Unlock()
+	if n.maxSeenViewID > base {
+		base = n.maxSeenViewID
+	}
+	epoch := base>>16 + 1
+	id := epoch<<16 | int64(n.cfg.ID&0xFFFF)
+	n.maxSeenViewID = id
+	return id
+}
+
+func (n *Node) onFrame(f Frame) {
+	r := wire.NewReader(f.Data)
+	switch kind := r.Byte(); kind {
+	case frameView:
+		v := view.View{ID: r.Varint(), Members: r.Set()}
+		if r.Err() != nil || !v.Members.Contains(n.cfg.ID) {
+			return
+		}
+		// Trust only the member that leads this view.
+		if f.From != v.Members.Smallest() {
+			return
+		}
+		if v.ID > n.maxSeenViewID {
+			n.maxSeenViewID = v.ID
+		}
+		if v.ID <= n.CurrentView().ID {
+			// Stale announcement — typically a rightful leader whose
+			// process ID composes smaller view IDs than one we joined
+			// during a failure-detector race. Tell it how far we have
+			// seen so it can re-announce above us.
+			var w wire.Writer
+			w.Byte(frameViewNack)
+			w.Varint(n.CurrentView().ID)
+			_ = n.cfg.Transport.Send(f.From, w.Bytes())
+			return
+		}
+		n.installView(v)
+	case frameViewNack:
+		seen := r.Varint()
+		if r.Err() != nil {
+			return
+		}
+		if seen > n.maxSeenViewID {
+			n.maxSeenViewID = seen
+		}
+		// Re-announce with a higher epoch if we still lead.
+		if !n.lastReach.Empty() && n.CurrentView().ID <= seen {
+			n.onReachability(n.lastReach)
+		}
+	case frameBundle:
+		viewID := r.Varint()
+		if r.Err() != nil {
+			return
+		}
+		cur := n.CurrentView().ID
+		switch {
+		case viewID == cur:
+			n.deliverBundle(f)
+			n.flush(nil)
+		case viewID > cur:
+			// The sender installed a newer view before we did; hold
+			// the bundle until the leader's announcement arrives.
+			const maxEarly = 1024
+			if n.earlyTotal < maxEarly {
+				n.early[viewID] = append(n.early[viewID], f)
+				n.earlyTotal++
+			}
+		default:
+			// Older view: view-synchronous drop.
+		}
+	}
+}
+
+// deliverBundle hands a current-view bundle to the algorithm and the
+// application.
+func (n *Node) deliverBundle(f Frame) {
+	r := wire.NewReader(f.Data)
+	_ = r.Byte()   // kind
+	_ = r.Varint() // view id
+	rest := f.Data[len(f.Data)-r.Remaining():]
+	app, err := n.pb.Incoming(f.From, rest)
+	if err != nil {
+		return // corrupt frame; drop
+	}
+	if app != nil {
+		n.emit(Event{Kind: EventApp, From: f.From, Payload: app})
+	}
+}
+
+// installView delivers the view to the algorithm and flushes whatever
+// it wants to say.
+func (n *Node) installView(v view.View) {
+	n.mu.Lock()
+	n.curView = v
+	n.mu.Unlock()
+	n.pb.ViewChanged(v)
+	n.emit(Event{Kind: EventView, View: v})
+	n.flush(nil)
+
+	if v.ID > n.maxSeenViewID {
+		n.maxSeenViewID = v.ID
+	}
+	// Replay bundles that raced ahead of this view's announcement and
+	// discard buffered traffic for views we skipped past.
+	replay := n.early[v.ID]
+	for id, frames := range n.early {
+		if id <= v.ID {
+			n.earlyTotal -= len(frames)
+			delete(n.early, id)
+		}
+	}
+	for _, f := range replay {
+		if n.CurrentView().ID != v.ID {
+			break // a replayed frame moved us to yet another view
+		}
+		n.deliverBundle(f)
+		n.flush(nil)
+	}
+}
+
+// flush bundles pending algorithm messages (and an optional
+// application payload) and broadcasts them to the current view — the
+// thesis's outgoingMessagePoll discipline: poll after every new piece
+// of information.
+func (n *Node) flush(appPayload []byte) {
+	v := n.CurrentView()
+	data, send, err := n.pb.Outgoing(appPayload)
+	if err != nil || !send {
+		n.checkPrimary()
+		return
+	}
+	var w wire.Writer
+	w.Byte(frameBundle)
+	w.Varint(v.ID)
+	bundle := append(w.Bytes(), data...)
+	n.broadcastRaw(v.Members, bundle)
+	if appPayload != nil {
+		// Group multicast delivers to the sender too.
+		n.emit(Event{Kind: EventApp, From: n.cfg.ID, Payload: appPayload})
+	}
+	n.checkPrimary()
+}
+
+func (n *Node) broadcastRaw(members proc.Set, data []byte) {
+	members.ForEach(func(q proc.ID) {
+		if q != n.cfg.ID {
+			_ = n.cfg.Transport.Send(q, data)
+		}
+	})
+}
+
+func (n *Node) checkPrimary() {
+	now := n.alg.InPrimary()
+	n.mu.Lock()
+	changed := now != n.inPrimary
+	n.inPrimary = now
+	n.mu.Unlock()
+	if changed {
+		n.emit(Event{Kind: EventPrimary, Primary: now})
+	}
+}
+
+func (n *Node) emit(ev Event) {
+	if n.cfg.OnEvent != nil {
+		n.cfg.OnEvent(ev)
+	}
+}

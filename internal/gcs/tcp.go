@@ -1,0 +1,340 @@
+package gcs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dynvote/internal/proc"
+)
+
+// TCPConfig assembles a TCPTransport.
+type TCPConfig struct {
+	// ID is this process's identity.
+	ID proc.ID
+	// OwnAddr is this process's listen address (e.g. "127.0.0.1:0").
+	// If empty, Addrs[ID] is used.
+	OwnAddr string
+	// Addrs maps peers to their listen addresses. More peers can be
+	// registered later with SetPeers — useful when ports are assigned
+	// by the operating system.
+	Addrs map[proc.ID]string
+	// HeartbeatEvery is the heartbeat period (default 50ms).
+	HeartbeatEvery time.Duration
+	// FailAfter is how long a silent peer stays "reachable" (default
+	// 3× HeartbeatEvery).
+	FailAfter time.Duration
+}
+
+// TCPTransport implements Transport over a full TCP mesh: one outgoing
+// connection per peer, re-dialed lazily, with heartbeats doubling as
+// the failure detector. A Block list simulates network partitions for
+// demos and tests without touching the operating system.
+type TCPTransport struct {
+	cfg      TCPConfig
+	listener net.Listener
+	frames   chan Frame
+	fd       chan proc.Set
+
+	mu        sync.Mutex
+	peers     map[proc.ID]string
+	conns     map[proc.ID]*peerConn
+	lastHB    map[proc.ID]time.Time
+	blocked   proc.Set
+	reach     proc.Set
+	published bool
+	closed    bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// Frame wire format: 4-byte big-endian length, 4-byte sender ID, body.
+// A zero-length body is a heartbeat.
+const tcpHeader = 8
+
+// NewTCPTransport starts listening on cfg.Addrs[cfg.ID] and begins
+// heartbeating all peers.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if cfg.FailAfter == 0 {
+		cfg.FailAfter = 3 * cfg.HeartbeatEvery
+	}
+	addr := cfg.OwnAddr
+	if addr == "" {
+		addr = cfg.Addrs[cfg.ID]
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("gcs: no listen address for %v", cfg.ID)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gcs: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		cfg:      cfg,
+		listener: ln,
+		frames:   make(chan Frame, memChanDepth),
+		fd:       make(chan proc.Set, 1),
+		peers:    make(map[proc.ID]string, len(cfg.Addrs)),
+		conns:    make(map[proc.ID]*peerConn),
+		lastHB:   make(map[proc.ID]time.Time),
+		reach:    proc.NewSet(cfg.ID),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for id, a := range cfg.Addrs {
+		if id != cfg.ID {
+			t.peers[id] = a
+		}
+	}
+	go t.acceptLoop()
+	go t.heartbeatLoop()
+	return t, nil
+}
+
+// SetPeers registers (or replaces) peer addresses. Call before the
+// cluster is expected to converge.
+func (t *TCPTransport) SetPeers(addrs map[proc.ID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, a := range addrs {
+		if id != t.cfg.ID {
+			t.peers[id] = a
+		}
+	}
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to proc.ID, data []byte) error {
+	t.mu.Lock()
+	if t.blocked.Contains(to) || t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	pc, err := t.conn(to)
+	if err != nil {
+		return nil // unreachable: drop, like a dead link
+	}
+	buf := make([]byte, tcpHeader+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(len(data)))
+	binary.BigEndian.PutUint32(buf[4:], uint32(t.cfg.ID))
+	copy(buf[tcpHeader:], data)
+	pc.mu.Lock()
+	_, err = pc.c.Write(buf)
+	pc.mu.Unlock()
+	if err != nil {
+		t.dropConn(to)
+	}
+	return nil
+}
+
+// Frames implements Transport.
+func (t *TCPTransport) Frames() <-chan Frame { return t.frames }
+
+// Reachability implements Transport.
+func (t *TCPTransport) Reachability() <-chan proc.Set { return t.fd }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		t.mu.Lock()
+		t.closed = true
+		for id, pc := range t.conns {
+			_ = pc.c.Close()
+			delete(t.conns, id)
+		}
+		t.mu.Unlock()
+		_ = t.listener.Close()
+		<-t.done
+	})
+	return nil
+}
+
+// Block drops all traffic to and from the given peers, simulating a
+// partition. Passing no peers clears the block list (heals).
+func (t *TCPTransport) Block(peers ...proc.ID) {
+	t.mu.Lock()
+	t.blocked = proc.NewSet(peers...)
+	t.mu.Unlock()
+}
+
+// peerConn serializes writes to one outgoing connection: the node
+// loop and the heartbeat loop both send, and interleaved partial
+// writes would corrupt the framing.
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (t *TCPTransport) conn(to proc.ID) (*peerConn, error) {
+	t.mu.Lock()
+	if pc, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gcs: unknown peer %v", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, fmt.Errorf("gcs: transport closed")
+	}
+	if old, ok := t.conns[to]; ok {
+		_ = c.Close()
+		return old, nil
+	}
+	pc := &peerConn{c: c}
+	t.conns[to] = pc
+	return pc, nil
+}
+
+func (t *TCPTransport) dropConn(to proc.ID) {
+	t.mu.Lock()
+	if pc, ok := t.conns[to]; ok {
+		_ = pc.c.Close()
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed: shutting down
+			}
+			// Transient accept failure (resource pressure, aborted
+			// handshake): back off briefly and keep accepting. Dying
+			// here would silently deafen this node to new peers.
+			select {
+			case <-t.stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer conn.Close()
+	header := make([]byte, tcpHeader)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header)
+		from := proc.ID(binary.BigEndian.Uint32(header[4:]))
+		if size > 1<<22 {
+			return // corrupt stream
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		t.mu.Lock()
+		blocked := t.blocked.Contains(from)
+		if !blocked {
+			t.lastHB[from] = time.Now()
+		}
+		t.mu.Unlock()
+		if blocked || size == 0 {
+			continue // blocked peer or bare heartbeat
+		}
+		select {
+		case t.frames <- Frame{From: from, Data: body}:
+		default: // inbox overflow: drop
+		}
+	}
+}
+
+func (t *TCPTransport) heartbeatLoop() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.mu.Lock()
+			ids := make([]proc.ID, 0, len(t.peers))
+			for id := range t.peers {
+				ids = append(ids, id)
+			}
+			t.mu.Unlock()
+			for _, id := range ids {
+				_ = t.Send(id, nil)
+			}
+			t.refreshReachability()
+		}
+	}
+}
+
+// refreshReachability recomputes the reachable set from heartbeat
+// freshness and publishes it if it changed.
+func (t *TCPTransport) refreshReachability() {
+	now := time.Now()
+	reach := proc.NewSet(t.cfg.ID)
+	t.mu.Lock()
+	for id, last := range t.lastHB {
+		if !t.blocked.Contains(id) && now.Sub(last) <= t.cfg.FailAfter {
+			reach = reach.With(id)
+		}
+	}
+	// The first reading always publishes, even when it equals the
+	// optimistic initial value: a node that starts inside a partition
+	// would otherwise never learn that its assumed-connected initial
+	// view is fiction — no "change" ever fires.
+	changed := !t.published || !reach.Equal(t.reach)
+	t.published = true
+	t.reach = reach
+	t.mu.Unlock()
+	if !changed {
+		return
+	}
+	for {
+		select {
+		case t.fd <- reach:
+			return
+		default:
+			select {
+			case <-t.fd:
+			default:
+			}
+		}
+	}
+}
+
+// Reach returns the current reachable set as the failure detector
+// computed it at the last heartbeat tick — a diagnostic snapshot.
+func (t *TCPTransport) Reach() proc.Set {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reach
+}

@@ -1,0 +1,75 @@
+// Package majority implements the simple, stateless baseline of thesis
+// §3.3: declare a primary component whenever a majority of the
+// original processes is present, breaking exact-half ties with the
+// lexically smallest process of the original view (the same rule YKD
+// uses).
+//
+// It exchanges no messages and keeps almost no state; the dynamic
+// voting algorithms exist to improve on it, so it anchors every
+// availability plot.
+package majority
+
+import (
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/quorum"
+	"dynvote/internal/view"
+)
+
+// Name is the algorithm identifier used in experiment output.
+const Name = "simple-majority"
+
+// Algorithm is the simple-majority primary component rule.
+type Algorithm struct {
+	self      proc.ID
+	initial   proc.Set
+	current   view.View
+	inPrimary bool
+}
+
+var (
+	_ core.Algorithm       = (*Algorithm)(nil)
+	_ core.PrimaryReporter = (*Algorithm)(nil)
+)
+
+// New returns an instance for process self whose original process set
+// is that of the initial view.
+func New(self proc.ID, initial view.View) *Algorithm {
+	return &Algorithm{
+		self:      self,
+		initial:   initial.Members,
+		current:   initial,
+		inPrimary: true, // everyone starts together: the full set is primary
+	}
+}
+
+// Factory describes the algorithm to hosts. Codec is nil because the
+// algorithm sends no messages.
+func Factory() core.Factory {
+	return core.Factory{
+		Name: Name,
+		New:  func(self proc.ID, initial view.View) core.Algorithm { return New(self, initial) },
+	}
+}
+
+// Name implements core.Algorithm.
+func (a *Algorithm) Name() string { return Name }
+
+// ViewChange re-evaluates the majority rule against the new view.
+func (a *Algorithm) ViewChange(v view.View) {
+	a.current = v
+	a.inPrimary = quorum.SubQuorum(v.Members, a.initial)
+}
+
+// Deliver is a no-op: the algorithm sends and expects no messages.
+func (a *Algorithm) Deliver(proc.ID, core.Message) {}
+
+// Poll always returns nil: there is nothing to broadcast.
+func (a *Algorithm) Poll() []core.Message { return nil }
+
+// InPrimary reports whether the current view holds a majority of the
+// original processes.
+func (a *Algorithm) InPrimary() bool { return a.inPrimary }
+
+// PrimaryMembers returns the current view's members while in primary.
+func (a *Algorithm) PrimaryMembers() proc.Set { return a.current.Members }

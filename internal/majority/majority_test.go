@@ -1,0 +1,86 @@
+package majority
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func initialView(n int) view.View {
+	return view.View{ID: 0, Members: proc.Universe(n)}
+}
+
+func TestStartsInPrimary(t *testing.T) {
+	a := New(0, initialView(5))
+	if !a.InPrimary() {
+		t.Error("initial view must be primary")
+	}
+	if !a.PrimaryMembers().Equal(proc.Universe(5)) {
+		t.Error("primary members should be the initial view")
+	}
+}
+
+func TestMajorityRule(t *testing.T) {
+	tests := []struct {
+		name    string
+		members proc.Set
+		want    bool
+	}{
+		{"majority 3/5", proc.NewSet(0, 1, 2), true},
+		{"minority 2/5", proc.NewSet(3, 4), false},
+		{"single process", proc.NewSet(2), false},
+		{"all", proc.Universe(5), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := New(tt.members.Smallest(), initialView(5))
+			a.ViewChange(view.View{ID: 1, Members: tt.members})
+			if got := a.InPrimary(); got != tt.want {
+				t.Errorf("InPrimary = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactHalfTieBreak(t *testing.T) {
+	// 6 processes split exactly in half; the side with p0 wins.
+	withSmallest := proc.NewSet(0, 4, 5)
+	withoutSmallest := proc.NewSet(1, 2, 3)
+
+	a := New(0, initialView(6))
+	a.ViewChange(view.View{ID: 1, Members: withSmallest})
+	if !a.InPrimary() {
+		t.Error("half with lexically smallest should be primary")
+	}
+
+	b := New(1, initialView(6))
+	b.ViewChange(view.View{ID: 1, Members: withoutSmallest})
+	if b.InPrimary() {
+		t.Error("half without lexically smallest should not be primary")
+	}
+}
+
+func TestNoMessages(t *testing.T) {
+	a := New(0, initialView(3))
+	if got := a.Poll(); got != nil {
+		t.Errorf("Poll = %v, want nil", got)
+	}
+	a.Deliver(1, nil) // must not panic
+	a.ViewChange(view.View{ID: 1, Members: proc.NewSet(0, 1)})
+	if got := a.Poll(); got != nil {
+		t.Errorf("Poll after view change = %v, want nil", got)
+	}
+}
+
+func TestRecoversOnMerge(t *testing.T) {
+	a := New(0, initialView(5))
+	a.ViewChange(view.View{ID: 1, Members: proc.NewSet(0, 1)})
+	if a.InPrimary() {
+		t.Fatal("minority should not be primary")
+	}
+	a.ViewChange(view.View{ID: 2, Members: proc.Universe(5)})
+	if !a.InPrimary() {
+		t.Error("full merge should restore primary")
+	}
+}

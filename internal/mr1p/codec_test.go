@@ -1,0 +1,95 @@
+package mr1p
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func roundTrip(t *testing.T, m core.Message) core.Message {
+	t.Helper()
+	b, err := Codec{}.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Codec{}.Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTrips(t *testing.T) {
+	v := view.View{ID: 12, Members: proc.NewSet(0, 2, 5)}
+
+	q := roundTrip(t, &QueryMessage{ViewID: 20, Ambiguous: v, Num: 3, Status: 2}).(*QueryMessage)
+	if q.ViewID != 20 || q.Ambiguous.ID != 12 || !q.Ambiguous.Members.Equal(v.Members) || q.Num != 3 || q.Status != 2 {
+		t.Errorf("query mismatch: %+v", q)
+	}
+
+	r := roundTrip(t, &ReplyMessage{ViewID: 20, About: v, Info: InfoAborted}).(*ReplyMessage)
+	if r.Info != InfoAborted || r.About.ID != 12 {
+		t.Errorf("reply mismatch: %+v", r)
+	}
+
+	p := roundTrip(t, &ProposeMessage{ViewID: 20, Proposed: v}).(*ProposeMessage)
+	if p.Proposed.ID != 12 {
+		t.Errorf("propose mismatch: %+v", p)
+	}
+
+	a := roundTrip(t, &AttemptMessage{ViewID: 20, Target: v}).(*AttemptMessage)
+	if a.Target.ID != 12 || !a.Target.Members.Equal(v.Members) {
+		t.Errorf("attempt mismatch: %+v", a)
+	}
+
+	f := roundTrip(t, &TryFailMessage{ViewID: 20, Target: v}).(*TryFailMessage)
+	if f.Target.ID != 12 {
+		t.Errorf("tryfail mismatch: %+v", f)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {}, {42}, {tagQuery}, {tagPropose, 1}}
+	for i, b := range cases {
+		if _, err := (Codec{}).Decode(b); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Codec{}.Encode(&ProposeMessage{ViewID: 1, Proposed: view.View{ID: 1, Members: proc.NewSet(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Codec{}).Decode(append(b, 1, 2)); err == nil {
+		t.Error("Decode accepted trailing bytes")
+	}
+}
+
+func TestMessageKinds(t *testing.T) {
+	kinds := map[string]core.Message{
+		"mr1p/query":   &QueryMessage{},
+		"mr1p/reply":   &ReplyMessage{},
+		"mr1p/propose": &ProposeMessage{},
+		"mr1p/attempt": &AttemptMessage{},
+		"mr1p/tryfail": &TryFailMessage{},
+	}
+	for want, m := range kinds {
+		if got := m.Kind(); got != want {
+			t.Errorf("Kind = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[status]string{
+		statusNone: "none", statusSent: "sent", statusAttempt: "attempt", statusTryFail: "try-fail",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package mr1p
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// FuzzDecode hardens the codec: never panic, and accepted messages
+// must round-trip.
+func FuzzDecode(f *testing.F) {
+	v := view.View{ID: 5, Members: proc.NewSet(0, 2, 9)}
+	seeds := []core.Message{
+		&QueryMessage{ViewID: 1, Ambiguous: v, Num: 2, Status: 1},
+		&ReplyMessage{ViewID: 1, About: v, Info: InfoFormed},
+		&ProposeMessage{ViewID: 1, Proposed: v},
+		&AttemptMessage{ViewID: 1, Target: v},
+		&TryFailMessage{ViewID: 1, Target: v},
+	}
+	for _, seed := range seeds {
+		if b, err := (Codec{}).Encode(seed); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagQuery, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Codec{}.Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Codec{}.Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		if _, err := (Codec{}).Decode(re); err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzRestore hardens the snapshot path.
+func FuzzRestore(f *testing.F) {
+	a := New(0, view.View{ID: 0, Members: proc.Universe(6)})
+	if snap, err := a.Snapshot(); err == nil {
+		f.Add(snap)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New(0, view.View{ID: 0, Members: proc.Universe(6)})
+		if err := b.Restore(data); err != nil {
+			return
+		}
+		if _, err := b.Snapshot(); err != nil {
+			t.Fatalf("restored state does not snapshot: %v", err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package mr1p
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/view"
+	"dynvote/internal/wire"
+)
+
+// Info classifies a ReplyMessage: what the responder knows about the
+// queried session.
+type Info byte
+
+const (
+	// InfoFormed: the responder recorded the session as a formed
+	// primary.
+	InfoFormed Info = iota + 1
+	// InfoAborted: the responder was a member and moved past the
+	// session without forming it, so it can never have formed.
+	InfoAborted
+)
+
+// QueryMessage is round 1: a holder's report of its pending ambiguous
+// session — the thesis's ⟨ambiguousSession, num, status⟩.
+type QueryMessage struct {
+	ViewID    int64
+	Ambiguous view.View
+	Num       int64
+	Status    byte
+}
+
+// Kind implements core.Message.
+func (m *QueryMessage) Kind() string { return "mr1p/query" }
+
+// ReplyMessage is round 2: what a non-holder knows about a queried
+// session — the thesis's ⟨V, formed⟩ / ⟨V, aborted⟩.
+type ReplyMessage struct {
+	ViewID int64
+	About  view.View
+	Info   Info
+}
+
+// Kind implements core.Message.
+func (m *ReplyMessage) Kind() string { return "mr1p/reply" }
+
+// ProposeMessage is round 4: the thesis's ⟨V, 1⟩, requesting that the
+// current view be declared a primary component.
+type ProposeMessage struct {
+	ViewID   int64
+	Proposed view.View
+}
+
+// Kind implements core.Message.
+func (m *ProposeMessage) Kind() string { return "mr1p/propose" }
+
+// AttemptMessage is round 5 — and round 3 when it carries a resolution
+// call: the thesis's ⟨attempt, V⟩. Attempts from a majority of the
+// target's members form (or resolve as formed) the target.
+type AttemptMessage struct {
+	ViewID int64
+	Target view.View
+}
+
+// Kind implements core.Message.
+func (m *AttemptMessage) Kind() string { return "mr1p/attempt" }
+
+// TryFailMessage is the round-3 failure call: the thesis's
+// ⟨tryfail, V⟩. Calls from a majority of the target's members abandon
+// the session.
+type TryFailMessage struct {
+	ViewID int64
+	Target view.View
+}
+
+// Kind implements core.Message.
+func (m *TryFailMessage) Kind() string { return "mr1p/tryfail" }
+
+const (
+	tagQuery byte = iota + 1
+	tagReply
+	tagPropose
+	tagAttempt
+	tagTryFail
+)
+
+// Codec encodes and decodes MR1p messages. It is stateless.
+type Codec struct{}
+
+var _ core.Codec = Codec{}
+
+func encodeView(w *wire.Writer, v view.View) {
+	w.Varint(v.ID)
+	w.Set(v.Members)
+}
+
+func decodeView(r *wire.Reader) view.View {
+	return view.View{ID: r.Varint(), Members: r.Set()}
+}
+
+// Encode implements core.Codec.
+func (Codec) Encode(m core.Message) ([]byte, error) {
+	var w wire.Writer
+	switch msg := m.(type) {
+	case *QueryMessage:
+		w.Byte(tagQuery)
+		w.Varint(msg.ViewID)
+		encodeView(&w, msg.Ambiguous)
+		w.Varint(msg.Num)
+		w.Byte(msg.Status)
+	case *ReplyMessage:
+		w.Byte(tagReply)
+		w.Varint(msg.ViewID)
+		encodeView(&w, msg.About)
+		w.Byte(byte(msg.Info))
+	case *ProposeMessage:
+		w.Byte(tagPropose)
+		w.Varint(msg.ViewID)
+		encodeView(&w, msg.Proposed)
+	case *AttemptMessage:
+		w.Byte(tagAttempt)
+		w.Varint(msg.ViewID)
+		encodeView(&w, msg.Target)
+	case *TryFailMessage:
+		w.Byte(tagTryFail)
+		w.Varint(msg.ViewID)
+		encodeView(&w, msg.Target)
+	default:
+		return nil, fmt.Errorf("mr1p: cannot encode %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// Decode implements core.Codec.
+func (Codec) Decode(b []byte) (core.Message, error) {
+	r := wire.NewReader(b)
+	var m core.Message
+	switch tag := r.Byte(); tag {
+	case tagQuery:
+		m = &QueryMessage{ViewID: r.Varint(), Ambiguous: decodeView(r), Num: r.Varint(), Status: r.Byte()}
+	case tagReply:
+		m = &ReplyMessage{ViewID: r.Varint(), About: decodeView(r), Info: Info(r.Byte())}
+	case tagPropose:
+		m = &ProposeMessage{ViewID: r.Varint(), Proposed: decodeView(r)}
+	case tagAttempt:
+		m = &AttemptMessage{ViewID: r.Varint(), Target: decodeView(r)}
+	case tagTryFail:
+		m = &TryFailMessage{ViewID: r.Varint(), Target: decodeView(r)}
+	default:
+		return nil, fmt.Errorf("mr1p: unknown message tag %d", tag)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("mr1p: decode: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("mr1p: decode: %d trailing bytes", r.Remaining())
+	}
+	return m, nil
+}

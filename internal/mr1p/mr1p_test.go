@@ -1,0 +1,217 @@
+package mr1p_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/onepending"
+	"dynvote/internal/proc"
+	"dynvote/internal/sim"
+	"dynvote/internal/simtest"
+)
+
+func isAttempt(m core.Message) bool {
+	_, ok := m.(*mr1p.AttemptMessage)
+	return ok
+}
+
+func isPropose(m core.Message) bool {
+	_, ok := m.(*mr1p.ProposeMessage)
+	return ok
+}
+
+func TestInitialViewIsPrimary(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	for p := proc.ID(0); p < 5; p++ {
+		h.WantPrimary(p, true)
+	}
+}
+
+func TestMajorityPartitionForms(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, true)
+	}
+	for _, p := range []proc.ID{3, 4} {
+		h.WantPrimary(p, false)
+	}
+}
+
+func TestDynamicShrinking(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 8)
+	h.Split([]proc.ID{0, 1, 2, 3, 4}, []proc.ID{5, 6, 7})
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4}, []proc.ID{5, 6, 7})
+	h.WantPrimary(0, true) // 3 of the previous 5, only 3 of 8 overall
+	h.WantPrimary(5, false)
+}
+
+// TestResolutionAsFormedWithMajority is the algorithm's namesake
+// property: an interrupted attempt whose members reached the attempt
+// stage resolves as formed once a MAJORITY of the session's members
+// reconvene — where 1-pending would block waiting for all of them.
+func TestResolutionAsFormedWithMajority(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	// {0,1,2} propose; everyone reaches the attempt stage, but all
+	// attempt broadcasts are lost: nobody forms, session pending with
+	// status=attempt at 0, 1 and 2.
+	h.DropTo(isAttempt, 0, 1, 2)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.ClearDrop()
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, false)
+		if got := h.Ambiguous(p); got != 1 {
+			t.Fatalf("process %v: ambiguous = %d, want 1", p, got)
+		}
+	}
+
+	// Only 0 and 1 — a majority of {0,1,2} — reconvene. The resolution
+	// rounds conclude "formed", and try-new then forms {0,1}.
+	h.Split([]proc.ID{0, 1}, []proc.ID{2}, []proc.ID{3, 4})
+	h.WantPrimary(0, true)
+	h.WantPrimary(1, true)
+	if got := h.Ambiguous(0); got != 0 {
+		t.Errorf("ambiguous after resolution = %d, want 0", got)
+	}
+
+	// Contrast: 1-pending needs to hear from ALL members of the
+	// pending session; with 2 absent it stays blocked.
+	op := simtest.New(t, onepending.Factory(), 5)
+	op.DropTo(func(m core.Message) bool { return m.Kind() == "ykd/attempt" }, 0, 1, 2)
+	op.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	op.ClearDrop()
+	op.Split([]proc.ID{0, 1}, []proc.ID{2}, []proc.ID{3, 4})
+	op.WantPrimary(0, false)
+	op.WantPrimary(1, false)
+}
+
+// TestResolutionAsTryFail: an attempt that never got past proposals
+// resolves as failed, and progress resumes.
+func TestResolutionAsTryFail(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	// All proposals lost: 0,1,2 hold the session with status=sent.
+	h.DropTo(isPropose, 0, 1, 2)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.ClearDrop()
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, false)
+	}
+
+	// A fresh view of the same three: queries reach a majority, the
+	// highest status is "sent" → try-fail call → majority → try-new,
+	// and this time the formation completes.
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, true)
+	}
+}
+
+// TestAbortedReply: members that moved past an unformed session answer
+// "aborted", releasing a stale holder immediately.
+func TestAbortedReply(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	h.DropTo(isPropose, 0, 1, 2)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.ClearDrop()
+
+	// 0 detaches alone (stuck: 1 of 3 is no majority); 1 and 2 resolve
+	// the session as failed between themselves and move on.
+	h.Split([]proc.ID{0}, []proc.ID{1, 2}, []proc.ID{3, 4})
+	if got := h.Ambiguous(0); got != 1 {
+		t.Fatalf("detached holder: ambiguous = %d, want 1", got)
+	}
+	if got := h.Ambiguous(1); got != 0 {
+		t.Fatalf("resolved holder: ambiguous = %d, want 0", got)
+	}
+
+	// 0 rejoins; 1 and 2 answer its query with "aborted" and the view
+	// forms.
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, true)
+	}
+}
+
+// TestFormedReply: a member that recorded the session as formed
+// answers "formed"; the stale holder adopts it and catches up.
+func TestFormedReply(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	h.DropTo(isAttempt, 0, 1, 2)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.ClearDrop()
+
+	// 0,1 resolve the session as formed and re-form {0,1}; 2 detaches
+	// still holding it.
+	h.Split([]proc.ID{0, 1}, []proc.ID{2}, []proc.ID{3, 4})
+	h.WantPrimary(0, true)
+	if got := h.Ambiguous(2); got != 1 {
+		t.Fatalf("process 2: ambiguous = %d, want 1", got)
+	}
+
+	// 2 rejoins 0,1: they answer "formed", 2 adopts the session as its
+	// primary, and the merged view forms.
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.WantPrimary(p, true)
+	}
+	if got := h.Ambiguous(2); got != 0 {
+		t.Errorf("process 2: ambiguous = %d, want 0", got)
+	}
+}
+
+// TestBlockedWithoutMajorityOfSession: fewer than a majority of the
+// pending session's members cannot resolve it, whatever else is
+// around.
+func TestBlockedWithoutMajorityOfSession(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 5)
+	// The full view re-forms... then an attempt over all five is
+	// interrupted, leaving the session pending everywhere.
+	h.DropTo(isAttempt, 0, 1, 2, 3, 4)
+	h.Split([]proc.ID{0, 1, 2, 3, 4})
+	h.ClearDrop()
+
+	// {0,1} is only 2 of the pending session's 5 members: blocked,
+	// even though it holds the lexically smallest process.
+	h.Split([]proc.ID{0, 1}, []proc.ID{2, 3}, []proc.ID{4})
+	for p := proc.ID(0); p < 5; p++ {
+		h.WantPrimary(p, false)
+	}
+
+	// A majority of the session reconvening unblocks it.
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.WantPrimary(0, true)
+}
+
+// TestFormedViewsResetOptimization: forming a primary equal to the
+// original view discards the formedViews log (§3.2.4).
+func TestFormedViewsResetOptimization(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 4)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3})
+	h.Split([]proc.ID{0, 1}, []proc.ID{2, 3})
+	h.Split([]proc.ID{0, 1, 2, 3})
+	alg := h.Cluster.Algorithm(0).(*mr1p.Algorithm)
+	if got := alg.FormedViewCount(); got != 1 {
+		t.Errorf("FormedViewCount = %d, want 1 after full-view reset", got)
+	}
+	h.WantPrimary(0, true)
+}
+
+func TestStableAgreementAcrossScenarios(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 6)
+	h.Split([]proc.ID{0, 1, 2, 3}, []proc.ID{4, 5})
+	h.Split([]proc.ID{0, 1}, []proc.ID{2, 3}, []proc.ID{4, 5})
+	h.Split([]proc.ID{0, 1, 2, 3, 4, 5})
+	if err := sim.CheckStableAgreement(h.Cluster); err != nil {
+		t.Error(err)
+	}
+	h.WantPrimary(0, true)
+}
+
+func TestSingletonFormsWhenEligible(t *testing.T) {
+	h := simtest.New(t, mr1p.Factory(), 2)
+	h.Split([]proc.ID{0}, []proc.ID{1})
+	// {0} is half of {0,1} holding the smallest process: primary.
+	h.WantPrimary(0, true)
+	h.WantPrimary(1, false)
+}

@@ -1,0 +1,78 @@
+package mr1p_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynvote/internal/core"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+)
+
+// Property: MR1p never retains more than one ambiguous session, on any
+// random schedule — the algorithm's defining structural invariant.
+func TestAtMostOnePendingProperty(t *testing.T) {
+	prop := func(seed int64, changes uint8, rateTenths uint8) bool {
+		d := sim.NewDriver(mr1p.Factory(), sim.Config{
+			Procs:      10,
+			Changes:    int(changes%24) + 1,
+			MeanRounds: float64(rateTenths%40) / 10,
+		}, rng.New(seed))
+		res, err := d.Run()
+		if err != nil {
+			return false
+		}
+		if res.AmbiguousAtEnd > 1 {
+			return false
+		}
+		for _, n := range res.AmbiguousAtChanges {
+			if n > 1 {
+				return false
+			}
+		}
+		// Spot-check every process, not just the stats process.
+		for p := 0; p < 10; p++ {
+			ar := d.Cluster().Algorithm(proc.ID(p)).(core.AmbiguousReporter)
+			if ar.AmbiguousSessionCount() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 12
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the formedViews log stays bounded in long cascading
+// executions thanks to the full-view reset optimization (§3.2.4 calls
+// the unoptimized version "highly unsuited to continuous usage").
+func TestFormedViewsBoundedUnderCascade(t *testing.T) {
+	d := sim.NewDriver(mr1p.Factory(), sim.Config{
+		Procs: 10, Changes: 6, MeanRounds: 2,
+	}, rng.New(77))
+	maxLog := 0
+	for seg := 0; seg < 60; seg++ {
+		d.Heal()
+		if _, err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 10; p++ {
+			alg := d.Cluster().Algorithm(proc.ID(p)).(*mr1p.Algorithm)
+			if n := alg.FormedViewCount(); n > maxLog {
+				maxLog = n
+			}
+		}
+	}
+	// 360 changes and ~60 heal-reformations: without the reset the log
+	// would hold hundreds of views.
+	if maxLog > 40 {
+		t.Errorf("formedViews grew to %d entries; reset optimization ineffective", maxLog)
+	}
+}

@@ -1,0 +1,102 @@
+package mr1p
+
+import (
+	"fmt"
+	"sort"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/wire"
+)
+
+// snapshotVersion guards the durable-state encoding.
+const snapshotVersion byte = 1
+
+var _ core.Snapshotter = (*Algorithm)(nil)
+
+// Snapshot implements core.Snapshotter: it encodes MR1p's durable
+// state — cur-primary, the pending ambiguous session with its num and
+// status, and the formedViews log (§3.2.4).
+func (a *Algorithm) Snapshot() ([]byte, error) {
+	var w wire.Writer
+	w.Byte(snapshotVersion)
+	w.Varint(int64(a.self))
+	encodeView(&w, a.initial)
+	encodeView(&w, a.curPrimary)
+	if a.ambiguous != nil {
+		w.Bool(true)
+		encodeView(&w, *a.ambiguous)
+		w.Varint(a.num)
+		w.Byte(byte(a.status))
+	} else {
+		w.Bool(false)
+	}
+	ids := make([]int64, 0, len(a.formedViews))
+	for id := range a.formedViews {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		encodeView(&w, a.formedViews[id])
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements core.Snapshotter. The receiver must have been
+// created with New for the same process and initial view.
+func (a *Algorithm) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.Byte(); v != snapshotVersion {
+		return fmt.Errorf("mr1p: snapshot version %d not supported", v)
+	}
+	if got := proc.ID(r.Varint()); got != a.self {
+		return fmt.Errorf("mr1p: snapshot belongs to %v, this instance is %v", got, a.self)
+	}
+	initial := decodeView(r)
+	if initial.ID != a.initial.ID || !initial.Members.Equal(a.initial.Members) {
+		return fmt.Errorf("mr1p: snapshot initial view %v does not match %v", initial, a.initial)
+	}
+
+	curPrimary := decodeView(r)
+	var ambiguous *view.View
+	var num int64
+	var st status
+	if r.Bool() {
+		v := decodeView(r)
+		ambiguous = &v
+		num = r.Varint()
+		st = status(r.Byte())
+	}
+	nf := r.Uvarint()
+	if nf > 1<<16 {
+		return fmt.Errorf("mr1p: snapshot formedViews count %d too large", nf)
+	}
+	formed := make(map[int64]view.View, nf)
+	for i := uint64(0); i < nf && r.Err() == nil; i++ {
+		v := decodeView(r)
+		formed[v.ID] = v
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("mr1p: restore: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("mr1p: restore: %d trailing bytes", r.Remaining())
+	}
+
+	a.curPrimary = curPrimary
+	a.ambiguous = ambiguous
+	a.num = num
+	a.status = st
+	a.formedViews = formed
+	a.inPrimary = false
+	a.out = nil
+	// Per-view tallies restart empty; the next view change re-queries.
+	a.queryStatuses = make(map[proc.ID]queryInfo)
+	a.resolveFired = false
+	a.proposals = proc.Set{}
+	a.attemptSenders = make(map[int64]proc.Set)
+	a.tryFailSenders = make(map[int64]proc.Set)
+	return nil
+}

@@ -1,0 +1,77 @@
+package mr1p_test
+
+import (
+	"testing"
+
+	"dynvote/internal/mr1p"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func initialView(n int) view.View { return view.View{ID: 0, Members: proc.Universe(n)} }
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	a := mr1p.New(1, initialView(4))
+	// Leave a pending session behind: propose a view and crash before
+	// it completes.
+	a.ViewChange(view.View{ID: 1, Members: proc.NewSet(0, 1, 2)})
+	a.Poll()
+	if a.AmbiguousSessionCount() != 1 {
+		t.Fatalf("setup: ambiguous = %d, want 1 (proposal pending)", a.AmbiguousSessionCount())
+	}
+
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mr1p.New(1, initialView(4))
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.InPrimary() {
+		t.Error("restored instance must not be in primary")
+	}
+	if b.AmbiguousSessionCount() != 1 {
+		t.Errorf("ambiguous = %d, want 1", b.AmbiguousSessionCount())
+	}
+	if b.FormedViewCount() != a.FormedViewCount() {
+		t.Errorf("formedViews = %d, want %d", b.FormedViewCount(), a.FormedViewCount())
+	}
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	a := mr1p.New(1, initialView(4))
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSelf := mr1p.New(2, initialView(4))
+	if err := wrongSelf.Restore(data); err == nil {
+		t.Error("restore of another process's snapshot accepted")
+	}
+	wrongWorld := mr1p.New(1, initialView(6))
+	if err := wrongWorld.Restore(data); err == nil {
+		t.Error("restore with different initial view accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	a := mr1p.New(0, initialView(3))
+	good, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		{42},
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 1),
+	}
+	for i, data := range cases {
+		b := mr1p.New(0, initialView(3))
+		if err := b.Restore(data); err == nil {
+			t.Errorf("case %d: garbage snapshot accepted", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package naive_test
+
+import (
+	"errors"
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/naive"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+)
+
+// TestFigure31SplitBrain proves the naive approach is actually broken:
+// replaying the exact Figure 3-1 scenario yields two concurrent
+// primary components, and the safety checker catches it. This is the
+// failure the dynamic voting algorithms exist to prevent — compare
+// TestFigure31Scenario in the ykd package, where all of them pass.
+func TestFigure31SplitBrain(t *testing.T) {
+	const a, b, c, d, e = 0, 1, 2, 3, 4
+	cl := sim.NewCluster(naive.Factory(), 5)
+	r := rng.New(3)
+
+	// Partition into {a,b,c} and {d,e}; c misses one state message, so
+	// a and b declare {a,b,c} while c does not.
+	cl.Drop = func(from, to proc.ID, m core.Message) bool {
+		return to == c && from == a // c never hears from a
+	}
+	cl.Collect(r)
+	cl.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(a, b, c)},
+		view.View{ID: 2, Members: proc.NewSet(d, e)})
+	if _, err := cl.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	cl.Drop = nil
+	if !cl.Algorithm(a).InPrimary() || cl.Algorithm(c).InPrimary() {
+		t.Fatal("setup failed: a,b should have declared without c")
+	}
+
+	// c joins d,e. {c,d,e} holds a majority of c's newest known
+	// primary (the original five) and declares — while {a,b} also
+	// declares as a majority of {a,b,c}. Split brain.
+	cl.Collect(r)
+	cl.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(a, b)},
+		view.View{ID: 4, Members: proc.NewSet(c, d, e)})
+	if _, err := cl.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	err := sim.CheckOnePrimary(cl)
+	if err == nil {
+		t.Fatal("the naive approach escaped the Figure 3-1 trap — it should not")
+	}
+	var se *sim.SafetyError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+// TestNaiveWorksWithoutInterruptions: absent interruptions the naive
+// rule behaves like dynamic voting — that is what makes it tempting.
+func TestNaiveWorksWithoutInterruptions(t *testing.T) {
+	cl := sim.NewCluster(naive.Factory(), 5)
+	r := rng.New(1)
+	cl.Collect(r)
+	cl.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+		view.View{ID: 2, Members: proc.NewSet(3, 4)})
+	if _, err := cl.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckOnePrimary(cl); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Algorithm(0).InPrimary() || cl.Algorithm(3).InPrimary() {
+		t.Error("clean partition should behave like dynamic voting")
+	}
+	// Shrink further: {0,1} is a majority of {0,1,2}.
+	cl.Collect(r)
+	cl.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(0, 1)},
+		view.View{ID: 4, Members: proc.NewSet(2)})
+	if _, err := cl.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Algorithm(0).InPrimary() {
+		t.Error("shrinking should keep the primary")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := &naive.StateMessage{ViewID: 9, LastPrimary: view.Session{Number: 3, Members: proc.NewSet(0, 2)}}
+	b, err := naive.Codec{}.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := naive.Codec{}.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := got.(*naive.StateMessage)
+	if gm.ViewID != 9 || !gm.LastPrimary.Equal(m.LastPrimary) {
+		t.Errorf("round trip = %+v", gm)
+	}
+	if _, err := (naive.Codec{}).Decode([]byte{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if m.Kind() != "naive/state" {
+		t.Errorf("Kind = %q", m.Kind())
+	}
+}

@@ -1,0 +1,323 @@
+// Package netsim models network connectivity for the simulation study
+// (thesis §2.2): the process set is partitioned into disjoint
+// components, and a connectivity change is either a partition — one
+// component splits into two, with the fraction moved chosen at random
+// — or a merge of two components, each equally likely when possible.
+package netsim
+
+import (
+	"fmt"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/view"
+)
+
+// ChangeKind distinguishes the two kinds of connectivity change.
+type ChangeKind int
+
+const (
+	// Partition splits one component into two.
+	Partition ChangeKind = iota + 1
+	// Merge unifies two components into one.
+	Merge
+	// Crash permanently removes a process (thesis §5.1's "one of the
+	// processes from the original view crashes" failure model).
+	Crash
+)
+
+// String returns "partition", "merge" or "crash".
+func (k ChangeKind) String() string {
+	switch k {
+	case Partition:
+		return "partition"
+	case Merge:
+		return "merge"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Change describes one applied connectivity change: its kind and the
+// new views issued to the affected components. Every process in an
+// affected component receives a new view, exactly as a group
+// membership service would report.
+type Change struct {
+	Kind     ChangeKind
+	NewViews []view.View
+}
+
+// Topology tracks the current partition of the process set into
+// connected components and issues fresh view identifiers. Crashed
+// processes stay in the model as permanently isolated singletons that
+// no future change touches.
+type Topology struct {
+	universe   proc.Set
+	comps      []proc.Set
+	crashed    proc.Set
+	nextViewID int64
+}
+
+// New returns a topology over processes 0..n-1, fully connected, with
+// the initial view carrying ID 0.
+func New(n int) *Topology {
+	u := proc.Universe(n)
+	return &Topology{
+		universe:   u,
+		comps:      []proc.Set{u},
+		nextViewID: 1,
+	}
+}
+
+// InitialView returns the all-connected view every process starts in.
+func (t *Topology) InitialView() view.View {
+	return view.View{ID: 0, Members: t.universe}
+}
+
+// Universe returns the full process set.
+func (t *Topology) Universe() proc.Set { return t.universe }
+
+// Components returns the current components. The returned slice is a
+// copy; the sets themselves are immutable.
+func (t *Topology) Components() []proc.Set {
+	out := make([]proc.Set, len(t.comps))
+	copy(out, t.comps)
+	return out
+}
+
+// NumComponents returns the current number of components.
+func (t *Topology) NumComponents() int { return len(t.comps) }
+
+// ComponentOf returns the component containing p.
+func (t *Topology) ComponentOf(p proc.ID) proc.Set {
+	for _, c := range t.comps {
+		if c.Contains(p) {
+			return c
+		}
+	}
+	return proc.Set{}
+}
+
+// SameComponent reports whether a and b are currently connected.
+func (t *Topology) SameComponent(a, b proc.ID) bool {
+	return t.ComponentOf(a).Contains(b)
+}
+
+// CanPartition reports whether some component has at least two
+// members.
+func (t *Topology) CanPartition() bool {
+	for _, c := range t.comps {
+		if c.Count() >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanMerge reports whether there are at least two live components.
+func (t *Topology) CanMerge() bool { return len(t.liveComponents()) >= 2 }
+
+// Crashed returns the set of crashed processes.
+func (t *Topology) Crashed() proc.Set { return t.crashed }
+
+// liveComponents returns indices of components containing at least
+// one non-crashed process; only these participate in future changes.
+func (t *Topology) liveComponents() []int {
+	out := make([]int, 0, len(t.comps))
+	for i, c := range t.comps {
+		if c.Diff(t.crashed).Count() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CrashProcess permanently removes p: it is isolated into its own
+// component, which no later partition or merge will touch, and the
+// survivors of its component receive a new view. The crashed process
+// itself receives nothing — it is gone, which is precisely what makes
+// this failure model interesting (thesis §4.1: "permanent absence of
+// some member of the latest ambiguous session may cause eternal
+// blocking"). It reports false if p is unknown or already crashed.
+func (t *Topology) CrashProcess(p proc.ID) (Change, bool) {
+	if !t.universe.Contains(p) || t.crashed.Contains(p) {
+		return Change{}, false
+	}
+	t.crashed = t.crashed.With(p)
+	for i, c := range t.comps {
+		if !c.Contains(p) {
+			continue
+		}
+		rest := c.Without(p)
+		t.comps[i] = rest
+		t.comps = append(t.comps, proc.NewSet(p))
+		ch := Change{Kind: Crash}
+		if !rest.Empty() {
+			ch.NewViews = []view.View{{ID: t.issueID(), Members: rest}}
+		}
+		if rest.Empty() {
+			// p was already alone; remove the now-duplicate empty slot.
+			t.comps[i] = t.comps[len(t.comps)-1]
+			t.comps = t.comps[:len(t.comps)-1]
+		}
+		return ch, true
+	}
+	return Change{}, false
+}
+
+// Recover returns a crashed process to service: it stays in its
+// isolated singleton component but becomes eligible for merges again.
+// It reports false if p was not crashed.
+func (t *Topology) Recover(p proc.ID) (view.View, bool) {
+	if !t.crashed.Contains(p) {
+		return view.View{}, false
+	}
+	t.crashed = t.crashed.Without(p)
+	return view.View{ID: t.issueID(), Members: proc.NewSet(p)}, true
+}
+
+// CrashRandomLive crashes a uniformly chosen non-crashed process.
+func (t *Topology) CrashRandomLive(r *rng.Source) (Change, bool) {
+	live := t.universe.Diff(t.crashed)
+	if live.Empty() {
+		return Change{}, false
+	}
+	return t.CrashProcess(live.Nth(r.Intn(live.Count())))
+}
+
+// RandomChange applies one connectivity change drawn from r: a
+// partition or a merge with equal likelihood when both are possible,
+// otherwise whichever is possible (thesis §2.2). It reports false if
+// neither is possible (a single-process system).
+func (t *Topology) RandomChange(r *rng.Source) (Change, bool) {
+	canP, canM := t.CanPartition(), t.CanMerge()
+	switch {
+	case canP && canM:
+		if r.Bool() {
+			return t.randomPartition(r), true
+		}
+		return t.randomMerge(r), true
+	case canP:
+		return t.randomPartition(r), true
+	case canM:
+		return t.randomMerge(r), true
+	default:
+		return Change{}, false
+	}
+}
+
+// randomPartition splits a uniformly chosen component with ≥2 members.
+// The number of processes moved to the new component is uniform in
+// [1, size-1] and the moved subset is uniform among subsets of that
+// size ("partitions do not necessarily happen evenly — the percentage
+// of processes which are moved ... is determined at random").
+func (t *Topology) randomPartition(r *rng.Source) Change {
+	// Choose uniformly among splittable components.
+	splittable := make([]int, 0, len(t.comps))
+	for i, c := range t.comps {
+		if c.Count() >= 2 {
+			splittable = append(splittable, i)
+		}
+	}
+	idx := splittable[r.Intn(len(splittable))]
+	comp := t.comps[idx]
+	size := comp.Count()
+
+	moveCount := 1 + r.Intn(size-1)
+	var moved proc.Set
+	remaining := comp
+	for i := 0; i < moveCount; i++ {
+		pick := remaining.Nth(r.Intn(remaining.Count()))
+		moved = moved.With(pick)
+		remaining = remaining.Without(pick)
+	}
+
+	t.comps[idx] = remaining
+	t.comps = append(t.comps, moved)
+
+	return Change{
+		Kind: Partition,
+		NewViews: []view.View{
+			{ID: t.issueID(), Members: remaining},
+			{ID: t.issueID(), Members: moved},
+		},
+	}
+}
+
+// randomMerge unifies two distinct uniformly chosen live components.
+func (t *Topology) randomMerge(r *rng.Source) Change {
+	live := t.liveComponents()
+	li := r.Intn(len(live))
+	lj := r.Intn(len(live) - 1)
+	if lj >= li {
+		lj++
+	}
+	i, j := live[li], live[lj]
+	merged := t.comps[i].Union(t.comps[j])
+
+	// Remove the higher index first so the lower stays valid.
+	if i < j {
+		i, j = j, i
+	}
+	t.comps[i] = t.comps[len(t.comps)-1]
+	t.comps = t.comps[:len(t.comps)-1]
+	if j < len(t.comps) {
+		t.comps[j] = merged
+	} else {
+		t.comps = append(t.comps, merged)
+	}
+	// j == len(t.comps) can only happen if j was the moved last slot;
+	// since j < i ≤ len-1, j is always in range after the removal.
+
+	return Change{
+		Kind:     Merge,
+		NewViews: []view.View{{ID: t.issueID(), Members: merged}},
+	}
+}
+
+// MergeAll reconnects every live component into one, modeling the
+// network healing after a burst of turbulence (a failed router
+// returning to service). Crashed processes stay isolated. It reports
+// false — issuing no view — when nothing needs merging.
+func (t *Topology) MergeAll() (Change, bool) {
+	live := t.liveComponents()
+	if len(live) <= 1 {
+		return Change{}, false
+	}
+	merged := t.universe.Diff(t.crashed)
+	comps := []proc.Set{merged}
+	t.crashed.ForEach(func(p proc.ID) { comps = append(comps, proc.NewSet(p)) })
+	t.comps = comps
+	return Change{
+		Kind:     Merge,
+		NewViews: []view.View{{ID: t.issueID(), Members: merged}},
+	}, true
+}
+
+func (t *Topology) issueID() int64 {
+	id := t.nextViewID
+	t.nextViewID++
+	return id
+}
+
+// CheckInvariant verifies that the components form a partition of the
+// universe: disjoint, non-empty, covering. Used by tests and the
+// simulation safety checker.
+func (t *Topology) CheckInvariant() error {
+	var union proc.Set
+	for i, c := range t.comps {
+		if c.Empty() {
+			return fmt.Errorf("netsim: component %d is empty", i)
+		}
+		if !union.Disjoint(c) {
+			return fmt.Errorf("netsim: component %d overlaps another", i)
+		}
+		union = union.Union(c)
+	}
+	if !union.Equal(t.universe) {
+		return fmt.Errorf("netsim: components cover %v, want %v", union, t.universe)
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package netsim
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+)
+
+func TestNewTopology(t *testing.T) {
+	topo := New(5)
+	if topo.NumComponents() != 1 {
+		t.Fatalf("NumComponents = %d, want 1", topo.NumComponents())
+	}
+	if got := topo.InitialView(); got.ID != 0 || got.Size() != 5 {
+		t.Errorf("InitialView = %v", got)
+	}
+	if err := topo.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	if !topo.SameComponent(0, 4) {
+		t.Error("all processes should start connected")
+	}
+}
+
+func TestCanPartitionCanMerge(t *testing.T) {
+	topo := New(2)
+	if !topo.CanPartition() || topo.CanMerge() {
+		t.Error("fresh 2-process topology: partition possible, merge not")
+	}
+	r := rng.New(1)
+	ch, ok := topo.RandomChange(r)
+	if !ok || ch.Kind != Partition {
+		t.Fatalf("RandomChange = %v, %v; want forced partition", ch, ok)
+	}
+	if topo.CanPartition() || !topo.CanMerge() {
+		t.Error("after full split: merge possible, partition not")
+	}
+	ch, ok = topo.RandomChange(r)
+	if !ok || ch.Kind != Merge {
+		t.Fatalf("RandomChange = %v, %v; want forced merge", ch, ok)
+	}
+}
+
+func TestSingleProcessNoChanges(t *testing.T) {
+	topo := New(1)
+	if _, ok := topo.RandomChange(rng.New(1)); ok {
+		t.Error("single-process topology admits no changes")
+	}
+}
+
+func TestPartitionViews(t *testing.T) {
+	topo := New(6)
+	r := rng.New(42)
+	ch, ok := topo.RandomChange(r)
+	if !ok {
+		t.Fatal("change failed")
+	}
+	if ch.Kind != Partition {
+		// Forced: only one component exists.
+		t.Fatalf("first change on connected topology must be partition, got %v", ch.Kind)
+	}
+	if len(ch.NewViews) != 2 {
+		t.Fatalf("partition issued %d views, want 2", len(ch.NewViews))
+	}
+	a, b := ch.NewViews[0].Members, ch.NewViews[1].Members
+	if !a.Disjoint(b) {
+		t.Error("partition halves overlap")
+	}
+	if !a.Union(b).Equal(proc.Universe(6)) {
+		t.Error("partition halves do not cover the component")
+	}
+	if a.Empty() || b.Empty() {
+		t.Error("partition produced an empty side")
+	}
+	if ch.NewViews[0].ID == ch.NewViews[1].ID || ch.NewViews[0].ID == 0 {
+		t.Error("views must carry fresh distinct IDs")
+	}
+}
+
+func TestMergeViews(t *testing.T) {
+	topo := New(4)
+	r := rng.New(7)
+	// Split first so a merge becomes possible.
+	if _, ok := topo.RandomChange(r); !ok {
+		t.Fatal("setup partition failed")
+	}
+	for {
+		ch, ok := topo.RandomChange(r)
+		if !ok {
+			t.Fatal("change failed")
+		}
+		if ch.Kind != Merge {
+			continue
+		}
+		if len(ch.NewViews) != 1 {
+			t.Fatalf("merge issued %d views, want 1", len(ch.NewViews))
+		}
+		if err := topo.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+}
+
+func TestInvariantUnderManyChanges(t *testing.T) {
+	topo := New(16)
+	r := rng.New(99)
+	for i := 0; i < 5000; i++ {
+		ch, ok := topo.RandomChange(r)
+		if !ok {
+			t.Fatalf("change %d failed", i)
+		}
+		if err := topo.CheckInvariant(); err != nil {
+			t.Fatalf("change %d (%v): %v", i, ch.Kind, err)
+		}
+		// Views issued must exactly correspond to current components.
+		for _, v := range ch.NewViews {
+			if !topo.ComponentOf(v.Members.Smallest()).Equal(v.Members) {
+				t.Fatalf("change %d: view %v does not match a component", i, v)
+			}
+		}
+	}
+}
+
+func TestViewIDsStrictlyIncrease(t *testing.T) {
+	topo := New(8)
+	r := rng.New(3)
+	last := int64(0)
+	for i := 0; i < 200; i++ {
+		ch, ok := topo.RandomChange(r)
+		if !ok {
+			t.Fatal("change failed")
+		}
+		for _, v := range ch.NewViews {
+			if v.ID <= last {
+				t.Fatalf("view ID %d not greater than previous %d", v.ID, last)
+			}
+			last = v.ID
+		}
+	}
+}
+
+func TestBothChangeKindsOccur(t *testing.T) {
+	topo := New(8)
+	r := rng.New(5)
+	seen := map[ChangeKind]int{}
+	for i := 0; i < 500; i++ {
+		ch, ok := topo.RandomChange(r)
+		if !ok {
+			t.Fatal("change failed")
+		}
+		seen[ch.Kind]++
+	}
+	if seen[Partition] == 0 || seen[Merge] == 0 {
+		t.Errorf("change kinds unbalanced: %v", seen)
+	}
+}
+
+func TestPartitionSizesVary(t *testing.T) {
+	// The thesis requires uneven partitions: over many splits of a
+	// 16-process component, more than one moved-size must occur.
+	sizes := map[int]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		topo := New(16)
+		ch, ok := topo.RandomChange(rng.New(seed))
+		if !ok || ch.Kind != Partition {
+			t.Fatal("expected partition")
+		}
+		sizes[ch.NewViews[1].Members.Count()] = true
+	}
+	if len(sizes) < 3 {
+		t.Errorf("partition sizes too uniform: %v", sizes)
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	topo := New(8)
+	if _, ok := topo.MergeAll(); ok {
+		t.Error("MergeAll on a connected topology should be a no-op")
+	}
+	r := rng.New(4)
+	for topo.NumComponents() < 3 {
+		if _, ok := topo.RandomChange(r); !ok {
+			t.Fatal("change failed")
+		}
+	}
+	ch, ok := topo.MergeAll()
+	if !ok || ch.Kind != Merge {
+		t.Fatalf("MergeAll = %+v, %v", ch, ok)
+	}
+	if len(ch.NewViews) != 1 || !ch.NewViews[0].Members.Equal(proc.Universe(8)) {
+		t.Errorf("MergeAll view = %v", ch.NewViews)
+	}
+	if topo.NumComponents() != 1 {
+		t.Errorf("NumComponents = %d after MergeAll", topo.NumComponents())
+	}
+	if err := topo.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashProcess(t *testing.T) {
+	topo := New(5)
+	ch, ok := topo.CrashProcess(2)
+	if !ok || ch.Kind != Crash {
+		t.Fatalf("CrashProcess = %+v, %v", ch, ok)
+	}
+	if len(ch.NewViews) != 1 || !ch.NewViews[0].Members.Equal(proc.NewSet(0, 1, 3, 4)) {
+		t.Errorf("survivor view = %v", ch.NewViews)
+	}
+	if !topo.Crashed().Equal(proc.NewSet(2)) {
+		t.Errorf("Crashed = %v", topo.Crashed())
+	}
+	if err := topo.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	// Crashing twice is refused.
+	if _, ok := topo.CrashProcess(2); ok {
+		t.Error("double crash accepted")
+	}
+	if _, ok := topo.CrashProcess(99); ok {
+		t.Error("crash of unknown process accepted")
+	}
+}
+
+func TestCrashedNeverMergedBack(t *testing.T) {
+	topo := New(6)
+	if _, ok := topo.CrashProcess(5); !ok {
+		t.Fatal("crash failed")
+	}
+	r := rng.New(8)
+	for i := 0; i < 2000; i++ {
+		ch, ok := topo.RandomChange(r)
+		if !ok {
+			t.Fatal("change failed")
+		}
+		for _, v := range ch.NewViews {
+			if v.Contains(5) {
+				t.Fatalf("change %d (%v) resurrected the crashed process: %v", i, ch.Kind, v)
+			}
+		}
+		if err := topo.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// MergeAll reconnects everyone except the crashed process.
+	for topo.NumComponents() < 3 {
+		if _, ok := topo.RandomChange(r); !ok {
+			t.Fatal("change failed")
+		}
+	}
+	ch, ok := topo.MergeAll()
+	if !ok {
+		t.Fatal("MergeAll failed")
+	}
+	if !ch.NewViews[0].Members.Equal(proc.Universe(6).Without(5)) {
+		t.Errorf("MergeAll view = %v", ch.NewViews[0])
+	}
+}
+
+func TestCrashAlreadyIsolated(t *testing.T) {
+	topo := New(3)
+	r := rng.New(2)
+	// Split until someone is alone, then crash them.
+	for topo.NumComponents() != 3 {
+		if _, ok := topo.RandomChange(r); !ok {
+			t.Fatal("change failed")
+		}
+	}
+	ch, ok := topo.CrashProcess(1)
+	if !ok || len(ch.NewViews) != 0 {
+		t.Errorf("crash of isolated process = %+v, %v (no survivor view expected)", ch, ok)
+	}
+	if err := topo.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashRandomLive(t *testing.T) {
+	topo := New(3)
+	r := rng.New(6)
+	for i := 0; i < 3; i++ {
+		if _, ok := topo.CrashRandomLive(r); !ok {
+			t.Fatalf("crash %d failed", i)
+		}
+	}
+	if topo.Crashed().Count() != 3 {
+		t.Errorf("Crashed = %v", topo.Crashed())
+	}
+	if _, ok := topo.CrashRandomLive(r); ok {
+		t.Error("crash with nobody live accepted")
+	}
+	if _, ok := topo.RandomChange(r); ok {
+		t.Error("changes possible with everyone crashed")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	if Partition.String() != "partition" || Merge.String() != "merge" || Crash.String() != "crash" {
+		t.Error("String() wrong")
+	}
+	if ChangeKind(0).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,30 @@
+// Package onepending exposes the 1-pending dynamic voting variant
+// (thesis §3.2.3), similar to the algorithms of Jajodia & Mutchler and
+// Amir: it never pipelines attempts, blocking whenever an ambiguous
+// session is pending, and in the worst case must hear from all members
+// of the pending session before it can make progress. The availability
+// study shows it degrading drastically as connectivity changes become
+// more numerous and frequent, and degrading further in long cascading
+// executions.
+//
+// The state machine lives in package ykd (the variants share it); this
+// package pins the 1-pending configuration.
+package onepending
+
+import (
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// Name is the algorithm identifier used in experiment output.
+const Name = "1-pending"
+
+// New returns a 1-pending instance for process self.
+func New(self proc.ID, initial view.View) *ykd.Algorithm {
+	return ykd.New(ykd.VariantOnePending, self, initial)
+}
+
+// Factory returns the host-facing description of 1-pending.
+func Factory() core.Factory { return ykd.Factory(ykd.VariantOnePending) }

@@ -1,0 +1,48 @@
+package onepending_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/onepending"
+	"dynvote/internal/proc"
+	"dynvote/internal/simtest"
+	"dynvote/internal/view"
+)
+
+func TestFactoryPinsOnePending(t *testing.T) {
+	f := onepending.Factory()
+	if f.Name != onepending.Name {
+		t.Fatalf("factory name = %q", f.Name)
+	}
+	alg := f.New(0, view.View{ID: 0, Members: proc.Universe(3)})
+	if alg.Name() != "1-pending" {
+		t.Errorf("instance name = %q", alg.Name())
+	}
+}
+
+func TestNewBehavesLikeOnePending(t *testing.T) {
+	direct := onepending.New(1, view.View{ID: 0, Members: proc.Universe(4)})
+	if direct.Name() != "1-pending" || !direct.InPrimary() {
+		t.Errorf("New() instance wrong: %q, %v", direct.Name(), direct.InPrimary())
+	}
+}
+
+// The defining behaviour through the factory: at most one pending
+// ambiguous session, ever.
+func TestAtMostOnePendingSession(t *testing.T) {
+	h := simtest.New(t, onepending.Factory(), 6)
+	// Churn through several partitions with message loss.
+	h.DropTo(func(m core.Message) bool {
+		return m.Kind() == "ykd/attempt"
+	}, 0, 1, 2, 3, 4, 5)
+	h.Split([]proc.ID{0, 1, 2}, []proc.ID{3, 4, 5})
+	h.Split([]proc.ID{0, 1}, []proc.ID{2, 3}, []proc.ID{4, 5})
+	h.ClearDrop()
+	h.Split([]proc.ID{0, 3}, []proc.ID{1, 2}, []proc.ID{4, 5})
+	for p := proc.ID(0); p < 6; p++ {
+		if got := h.Ambiguous(p); got > 1 {
+			t.Errorf("process %v retains %d sessions, 1-pending allows at most 1", p, got)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package plot renders the study's figures as standalone SVG files —
+// availability-vs-rate line charts (Figures 4-1 through 4-6) and
+// ambiguous-session bar charts (Figures 4-7, 4-8) — replacing the
+// thesis's Matlab plots with stdlib-only output.
+//
+// The visual system follows a validated palette and fixed mark specs:
+// categorical hues assigned in fixed slot order (validated for
+// colorblind separation as a set), 2px lines with ≥8px markers ringed
+// in the surface color, bars ≤24px with rounded data-ends and square
+// baselines, hairline one-step-off-surface gridlines, and text in ink
+// tokens rather than series colors. Every chart carries a legend (the
+// dependable identity channel) and native SVG <title> tooltips; the
+// CSV emitted alongside each figure is the table view.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette: the validated categorical slots in fixed order (worst
+// adjacent CVD ΔE 24.2 on the light surface), plus surface and ink
+// tokens. Series colors go on marks only, never on text.
+const (
+	surface   = "#fcfcfb"
+	gridline  = "#ececea" // one step off the surface, hairline
+	inkText   = "#0b0b0b" // text-primary
+	mutedText = "#52514e" // text-secondary
+)
+
+// seriesColors are categorical slots 1..5, assigned to series in fixed
+// order, never cycled.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+}
+
+// Series is one named line or bar group.
+type Series struct {
+	Name   string
+	Values []float64 // aligned with the chart's X values
+}
+
+// LineChart describes an availability-vs-rate figure.
+type LineChart struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	YLabel   string
+	X        []float64
+	Series   []Series // at most 5; slot colors are fixed
+	// YMin/YMax bound the axis; ticks are drawn at clean steps.
+	YMin, YMax float64
+}
+
+const (
+	chartW  = 760
+	chartH  = 440
+	marLeft = 64
+	marTop  = 64
+	marBot  = 56
+	marRt   = 170 // room for the legend column
+)
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func (b *svgBuilder) el(format string, args ...any) {
+	fmt.Fprintf(b, format+"\n", args...)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func color(i int) string { return seriesColors[i%len(seriesColors)] }
+
+// Render produces the chart as a standalone SVG document.
+func (c LineChart) Render() (string, error) {
+	if len(c.Series) == 0 || len(c.X) == 0 {
+		return "", fmt.Errorf("plot: empty chart")
+	}
+	if len(c.Series) > len(seriesColors) {
+		return "", fmt.Errorf("plot: at most %d series (fold extras into 'Other')", len(seriesColors))
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.X) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d x points", s.Name, len(s.Values), len(c.X))
+		}
+	}
+	if c.YMax <= c.YMin {
+		c.YMin, c.YMax = autoRange(c.Series)
+	}
+
+	plotW := float64(chartW - marLeft - marRt)
+	plotH := float64(chartH - marTop - marBot)
+	xmin, xmax := c.X[0], c.X[len(c.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	sx := func(x float64) float64 { return marLeft + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return marTop + plotH - (y-c.YMin)/(c.YMax-c.YMin)*plotH }
+
+	var b svgBuilder
+	c.header(&b)
+
+	// Gridlines + y ticks at clean steps.
+	for _, tick := range cleanTicks(c.YMin, c.YMax) {
+		y := sy(tick)
+		b.el(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marLeft, y, marLeft+plotW, y, gridline)
+		b.el(`<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" font-size="12" fill="%s">%g</text>`,
+			marLeft-8, y, mutedText, tick)
+	}
+	// X ticks on the data points (skip crowding).
+	step := 1
+	if len(c.X) > 9 {
+		step = 2
+	}
+	for i := 0; i < len(c.X); i += step {
+		x := sx(c.X[i])
+		b.el(`<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12" fill="%s">%g</text>`,
+			x, marTop+plotH+20, mutedText, c.X[i])
+	}
+	// Axis lines (recessive).
+	b.el(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		marLeft, marTop+plotH, marLeft+plotW, marTop+plotH, gridline)
+
+	// Series: 2px round-joined lines, then ≥8px markers with a 2px
+	// surface ring, each with a native tooltip.
+	for si, s := range c.Series {
+		var path strings.Builder
+		for i, v := range s.Values {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(c.X[i]), sy(v))
+		}
+		b.el(`<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`,
+			strings.TrimSpace(path.String()), color(si))
+		for i, v := range s.Values {
+			b.el(`<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="%s" stroke-width="2"><title>%s — rate %g: %.1f%%</title></circle>`,
+				sx(c.X[i]), sy(v), color(si), surface, esc(s.Name), c.X[i], v)
+		}
+	}
+
+	c.legend(&b)
+	c.axisLabels(&b, plotW, plotH)
+	b.el(`</svg>`)
+	return b.String(), nil
+}
+
+func (c LineChart) header(b *svgBuilder) {
+	b.el(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		chartW, chartH, chartW, chartH)
+	b.el(`<rect width="%d" height="%d" fill="%s"/>`, chartW, chartH, surface)
+	b.el(`<text x="%d" y="26" font-size="16" font-weight="600" fill="%s">%s</text>`, marLeft, inkText, esc(c.Title))
+	if c.Subtitle != "" {
+		b.el(`<text x="%d" y="44" font-size="12" fill="%s">%s</text>`, marLeft, mutedText, esc(c.Subtitle))
+	}
+}
+
+func (c LineChart) legend(b *svgBuilder) {
+	lx := chartW - marRt + 24
+	for si, s := range c.Series {
+		y := marTop + 10 + si*22
+		b.el(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2" stroke-linecap="round"/>`,
+			lx, y, lx+16, y, color(si))
+		b.el(`<circle cx="%d" cy="%d" r="4" fill="%s"/>`, lx+8, y, color(si))
+		b.el(`<text x="%d" y="%d" font-size="12" dominant-baseline="middle" fill="%s">%s</text>`,
+			lx+24, y+1, inkText, esc(s.Name))
+	}
+}
+
+func (c LineChart) axisLabels(b *svgBuilder, plotW, plotH float64) {
+	if c.XLabel != "" {
+		b.el(`<text x="%.1f" y="%d" text-anchor="middle" font-size="12" fill="%s">%s</text>`,
+			marLeft+plotW/2, chartH-12, mutedText, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		b.el(`<text x="16" y="%.1f" text-anchor="middle" font-size="12" fill="%s" transform="rotate(-90 16 %.1f)">%s</text>`,
+			marTop+plotH/2, mutedText, marTop+plotH/2, esc(c.YLabel))
+	}
+}
+
+// BarChart describes a grouped bar figure: one group per X category,
+// one bar per series within the group.
+type BarChart struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	YLabel   string
+	Groups   []string // category labels (e.g. rates)
+	Series   []Series // Values aligned with Groups
+	YMax     float64  // 0 = auto
+}
+
+// Render produces the chart as a standalone SVG document.
+func (c BarChart) Render() (string, error) {
+	if len(c.Series) == 0 || len(c.Groups) == 0 {
+		return "", fmt.Errorf("plot: empty chart")
+	}
+	if len(c.Series) > len(seriesColors) {
+		return "", fmt.Errorf("plot: at most %d series", len(seriesColors))
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Groups) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d groups", s.Name, len(s.Values), len(c.Groups))
+		}
+	}
+	if c.YMax <= 0 {
+		_, c.YMax = autoRange(c.Series)
+		if c.YMax == 0 {
+			c.YMax = 1
+		}
+	}
+
+	plotW := float64(chartW - marLeft - marRt)
+	plotH := float64(chartH - marTop - marBot)
+	baseline := marTop + plotH
+	groupW := plotW / float64(len(c.Groups))
+	// Bars ≤24px thick with a 2px surface gap between neighbors.
+	barW := math.Min(24, (groupW-8)/float64(len(c.Series))-2)
+	if barW < 3 {
+		barW = 3
+	}
+	sy := func(v float64) float64 { return baseline - v/c.YMax*plotH }
+
+	var b svgBuilder
+	lc := LineChart{Title: c.Title, Subtitle: c.Subtitle}
+	lc.header(&b)
+
+	for _, tick := range cleanTicks(0, c.YMax) {
+		y := sy(tick)
+		b.el(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marLeft, y, marLeft+plotW, y, gridline)
+		b.el(`<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" font-size="12" fill="%s">%g</text>`,
+			marLeft-8, y, mutedText, tick)
+	}
+
+	for gi, label := range c.Groups {
+		groupLeft := marLeft + float64(gi)*groupW
+		total := float64(len(c.Series))*(barW+2) - 2
+		start := groupLeft + (groupW-total)/2
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			x := start + float64(si)*(barW+2)
+			y := sy(v)
+			h := baseline - y
+			if h < 0.5 && v > 0 {
+				h = 0.5
+				y = baseline - h
+			}
+			// Rounded 4px data-end, square baseline.
+			r := math.Min(4, math.Min(barW/2, h))
+			b.el(`<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="%s"><title>%s @ %s: %.2f</title></path>`,
+				x, baseline, x, y+r, x, y, x+r, y,
+				x+barW-r, y, x+barW, y, x+barW, y+r,
+				x+barW, baseline, color(si), esc(s.Name), esc(label), v)
+		}
+		b.el(`<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12" fill="%s">%s</text>`,
+			groupLeft+groupW/2, baseline+20, mutedText, esc(label))
+	}
+	b.el(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		marLeft, baseline, marLeft+plotW, baseline, gridline)
+
+	lc.Series = c.Series
+	lc.legend(&b)
+	lc.XLabel, lc.YLabel = c.XLabel, c.YLabel
+	lc.axisLabels(&b, plotW, plotH)
+	b.el(`</svg>`)
+	return b.String(), nil
+}
+
+// autoRange pads the data range to clean bounds.
+func autoRange(series []Series) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	lo = math.Max(0, lo-span*0.1)
+	hi = hi + span*0.05
+	return lo, hi
+}
+
+// cleanTicks returns 4-6 round tick values covering [lo, hi].
+func cleanTicks(lo, hi float64) []float64 {
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	for _, m := range []float64{1, 2, 5, 10} {
+		if mag*m >= raw {
+			step = mag * m
+			break
+		}
+	}
+	var ticks []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-9; t += step {
+		ticks = append(ticks, math.Round(t*1e9)/1e9)
+	}
+	return ticks
+}

@@ -1,0 +1,221 @@
+package plot
+
+import (
+	"encoding/xml"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func sampleLine() LineChart {
+	return LineChart{
+		Title:    "Figure X",
+		Subtitle: "availability %",
+		XLabel:   "mean rounds",
+		YLabel:   "availability",
+		X:        []float64{0, 2, 4, 6},
+		Series: []Series{
+			{Name: "ykd", Values: []float64{77, 86, 92, 95}},
+			{Name: "dfls", Values: []float64{77, 80, 90, 92}},
+			{Name: "1-pending", Values: []float64{77, 61, 74, 79}},
+		},
+	}
+}
+
+func TestLineChartRenders(t *testing.T) {
+	svg, err := sampleLine().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{
+		"Figure X", "ykd", "dfls", "1-pending",
+		seriesColors[0], seriesColors[1], seriesColors[2],
+		"<title>", // native tooltips
+		`stroke-width="2"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Text must wear ink tokens, not series colors: no <text ... fill="#2a78d6">.
+	if strings.Contains(svg, `font-size="12" fill="`+seriesColors[0]) {
+		t.Error("text colored with a series hue")
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (LineChart{}).Render(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := sampleLine()
+	c.Series[0].Values = c.Series[0].Values[:2]
+	if _, err := c.Render(); err == nil {
+		t.Error("misaligned series accepted")
+	}
+	c = sampleLine()
+	for i := 0; i < 6; i++ {
+		c.Series = append(c.Series, Series{Name: "extra", Values: []float64{1, 2, 3, 4}})
+	}
+	if _, err := c.Render(); err == nil {
+		t.Error("more series than fixed palette slots accepted")
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	c := BarChart{
+		Title:  "Ambiguous sessions",
+		Groups: []string{"0", "2", "4"},
+		Series: []Series{
+			{Name: "ykd", Values: []float64{0, 6.9, 4.4}},
+			{Name: "ykd-unopt", Values: []float64{0, 6.9, 4.4}},
+			{Name: "dfls", Values: []float64{0, 10.6, 7.7}},
+		},
+		YLabel: "% of samples",
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<path") || !strings.Contains(svg, "dfls") {
+		t.Error("bars or legend missing")
+	}
+	// Zero-valued bars must not render negative geometry.
+	if strings.Contains(svg, "-") && strings.Contains(svg, `height="-`) {
+		t.Error("negative bar height")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (BarChart{}).Render(); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestCleanTicks(t *testing.T) {
+	ticks := cleanTicks(40, 100)
+	if len(ticks) < 3 || len(ticks) > 8 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for _, tk := range ticks {
+		if tk < 40 || tk > 100 {
+			t.Errorf("tick %v out of range", tk)
+		}
+	}
+	if got := cleanTicks(5, 5); len(got) != 1 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestAutoRange(t *testing.T) {
+	lo, hi := autoRange([]Series{{Values: []float64{50, 90}}})
+	if lo < 0 || lo > 50 || hi < 90 {
+		t.Errorf("autoRange = [%v, %v]", lo, hi)
+	}
+	if lo2, hi2 := autoRange(nil); lo2 != 0 || hi2 != 1 {
+		t.Errorf("empty autoRange = [%v, %v]", lo2, hi2)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := sampleLine()
+	c.Title = `<script>&"attack"`
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+// TestGeometryWithinViewBox is the automated stand-in for eyeballing
+// the render (no rasterizer in CI): every coordinate in the SVG must
+// lie inside the viewBox, so nothing is clipped or overflowing.
+func TestGeometryWithinViewBox(t *testing.T) {
+	charts := []func() (string, error){
+		func() (string, error) { return sampleLine().Render() },
+		func() (string, error) {
+			return BarChart{
+				Title:  "bars",
+				Groups: []string{"0", "1", "2", "4", "6", "8", "10", "12"},
+				Series: []Series{
+					{Name: "a", Values: []float64{0, 1, 2, 3, 4, 5, 6, 7}},
+					{Name: "b", Values: []float64{7, 6, 5, 4, 3, 2, 1, 0}},
+					{Name: "c", Values: []float64{1, 1, 1, 1, 1, 1, 1, 1}},
+				},
+			}.Render()
+		},
+	}
+	coordRe := regexp.MustCompile(`(?:x|y|x1|x2|y1|y2|cx|cy)="(-?[0-9.]+)"`)
+	for ci, build := range charts {
+		svg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range coordRe.FindAllStringSubmatch(svg, -1) {
+			v, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("chart %d: bad coordinate %q", ci, m[1])
+			}
+			if v < 0 || v > chartW {
+				t.Errorf("chart %d: coordinate %v outside the 0..%d viewBox", ci, v, chartW)
+			}
+		}
+		// Path coordinates too.
+		pathRe := regexp.MustCompile(`[ML](-?[0-9.]+) (-?[0-9.]+)`)
+		for _, m := range pathRe.FindAllStringSubmatch(svg, -1) {
+			for _, g := range m[1:] {
+				v, _ := strconv.ParseFloat(g, 64)
+				if v < 0 || v > chartW {
+					t.Errorf("chart %d: path coordinate %v outside viewBox", ci, v)
+				}
+			}
+		}
+	}
+}
+
+// TestLegendClearOfPlotArea: the legend column must start right of the
+// plot region so series text never collides with marks.
+func TestLegendClearOfPlotArea(t *testing.T) {
+	svg, err := sampleLine().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data marks may reach the plot's right edge exactly; the legend
+	// swatches start 24px beyond it. Nothing may sit in the gutter
+	// between them.
+	plotRight := float64(chartW - marRt)
+	gutterEnd := plotRight + 20
+	re := regexp.MustCompile(`<circle cx="([0-9.]+)"`)
+	legendSwatches := 0
+	for _, m := range re.FindAllStringSubmatch(svg, -1) {
+		v, _ := strconv.ParseFloat(m[1], 64)
+		switch {
+		case v >= gutterEnd:
+			legendSwatches++
+		case v > plotRight:
+			t.Errorf("mark at x=%v inside the plot/legend gutter", v)
+		}
+	}
+	if legendSwatches < 3 {
+		t.Errorf("expected ≥3 legend swatches right of the plot, found %d", legendSwatches)
+	}
+}

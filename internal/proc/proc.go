@@ -1,0 +1,315 @@
+// Package proc defines process identities and ordered process sets.
+//
+// Every quorum rule in the dynamic voting algorithms is expressed over
+// sets of processes, and the "lexically smallest" tie-breaking rule of
+// dynamic linear voting needs a deterministic total order on processes.
+// IDs are small dense integers (the simulator numbers processes
+// 0..n-1); Set is a bitset, so the common 64-process configuration of
+// the thesis fits in a single word.
+package proc
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// ID identifies a single process. The total order on IDs defines the
+// "lexically smallest" process used to break exact-half ties in
+// dynamic linear voting (thesis §3.1): the thesis suggests sorting by
+// numeric IP address and process id; here the integer value plays that
+// role directly.
+type ID int
+
+// None is a sentinel returned when an operation over an empty set has
+// no process to report.
+const None ID = -1
+
+// String returns a short printable form, e.g. "p7".
+func (id ID) String() string { return "p" + strconv.Itoa(int(id)) }
+
+const wordBits = 64
+
+// Set is an immutable-by-convention set of process IDs backed by a
+// bitset. The zero value is the empty set. Mutating methods are
+// value-receiver and return new sets; nothing in this package aliases
+// a caller's words.
+type Set struct {
+	words []uint64
+}
+
+// NewSet returns a set containing exactly the given IDs. Negative IDs
+// are rejected by panicking, since they indicate a programming error
+// (IDs are assigned by the caller as dense non-negative integers).
+func NewSet(ids ...ID) Set {
+	var s Set
+	for _, id := range ids {
+		s = s.With(id)
+	}
+	return s
+}
+
+// Universe returns the set {0, 1, ..., n-1}.
+func Universe(n int) Set {
+	if n <= 0 {
+		return Set{}
+	}
+	words := make([]uint64, (n+wordBits-1)/wordBits)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if rem := n % wordBits; rem != 0 {
+		words[len(words)-1] = (uint64(1) << rem) - 1
+	}
+	return Set{words: words}
+}
+
+// With returns s ∪ {id}.
+func (s Set) With(id ID) Set {
+	if id < 0 {
+		panic("proc: negative ID")
+	}
+	w, b := int(id)/wordBits, uint(int(id)%wordBits)
+	words := make([]uint64, max(len(s.words), w+1))
+	copy(words, s.words)
+	words[w] |= 1 << b
+	return Set{words: words}
+}
+
+// Without returns s \ {id}.
+func (s Set) Without(id ID) Set {
+	if !s.Contains(id) {
+		return s
+	}
+	w, b := int(id)/wordBits, uint(int(id)%wordBits)
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	words[w] &^= 1 << b
+	return Set{words: words}.normalize()
+}
+
+// Contains reports whether id is a member of s.
+func (s Set) Contains(id ID) bool {
+	if id < 0 {
+		return false
+	}
+	w, b := int(id)/wordBits, uint(int(id)%wordBits)
+	return w < len(s.words) && s.words[w]&(1<<b) != 0
+}
+
+// Count returns |s|.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether s has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	if len(t.words) > len(s.words) {
+		s, t = t, s
+	}
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	for i, w := range t.words {
+		words[i] |= w
+	}
+	return Set{words: words}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := min(len(s.words), len(t.words))
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: words}.normalize()
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	for i := 0; i < len(words) && i < len(t.words); i++ {
+		words[i] &^= t.words[i]
+	}
+	return Set{words: words}.normalize()
+}
+
+// IntersectCount returns |s ∩ t| without allocating.
+func (s Set) IntersectCount(t Set) int {
+	n := min(len(s.words), len(t.words))
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t have identical membership.
+func (s Set) Equal(t Set) bool {
+	a, b := s.words, t.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i := range b {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for i := len(b); i < len(a); i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s Set) Disjoint(t Set) bool { return s.IntersectCount(t) == 0 }
+
+// Smallest returns the lexically smallest member of s, or None if s is
+// empty. This is the designated tie-breaker process of dynamic linear
+// voting.
+func (s Set) Smallest() ID {
+	for i, w := range s.words {
+		if w != 0 {
+			return ID(i*wordBits + bits.TrailingZeros64(w))
+		}
+	}
+	return None
+}
+
+// Members returns the IDs in ascending order.
+func (s Set) Members() []ID {
+	out := make([]ID, 0, s.Count())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, ID(i*wordBits+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each member in ascending order.
+func (s Set) ForEach(fn func(ID)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(ID(i*wordBits + b))
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Nth returns the n-th smallest member (0-based), or None if n is out
+// of range. Used by the simulator to pick uniform random members.
+func (s Set) Nth(n int) ID {
+	if n < 0 {
+		return None
+	}
+	for i, w := range s.words {
+		c := bits.OnesCount64(w)
+		if n < c {
+			for ; ; n-- {
+				b := bits.TrailingZeros64(w)
+				if n == 0 {
+					return ID(i*wordBits + b)
+				}
+				w &^= 1 << uint(b)
+			}
+		}
+		n -= c
+	}
+	return None
+}
+
+// Key returns a comparable representation of s, usable as a map key.
+// Sets over at most 192 processes fit without allocation beyond the
+// struct itself; the thesis simulates at most 64.
+func (s Set) Key() Key {
+	var k Key
+	for i, w := range s.words {
+		switch {
+		case i < len(k.w):
+			k.w[i] = w
+		case w != 0:
+			k.overflow += "," + strconv.FormatUint(w, 16)
+		}
+	}
+	return k
+}
+
+// Key is a comparable digest of a Set; see Set.Key.
+type Key struct {
+	w        [3]uint64
+	overflow string
+}
+
+// Words exposes the raw bitset words (a copy) for wire encoding.
+func (s Set) Words() []uint64 {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	return out
+}
+
+// SetFromWords builds a Set from raw bitset words, copying them.
+func SetFromWords(words []uint64) Set {
+	out := make([]uint64, len(words))
+	copy(out, words)
+	return Set{words: out}.normalize()
+}
+
+// String renders the set as "{p0,p3,p5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id ID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(id.String())
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// normalize trims trailing zero words so Equal/Key behave uniformly.
+func (s Set) normalize() Set {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	return Set{words: s.words[:n]}
+}

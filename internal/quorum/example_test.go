@@ -1,0 +1,34 @@
+package quorum_test
+
+import (
+	"fmt"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/quorum"
+)
+
+// The dynamic linear voting rule: a majority of the previous primary
+// suffices, and an exact half wins if it holds the lexically smallest
+// member.
+func ExampleSubQuorum() {
+	previousPrimary := proc.NewSet(0, 1, 2, 3)
+
+	fmt.Println(quorum.SubQuorum(proc.NewSet(1, 2, 3), previousPrimary)) // majority
+	fmt.Println(quorum.SubQuorum(proc.NewSet(0, 3), previousPrimary))    // half + smallest
+	fmt.Println(quorum.SubQuorum(proc.NewSet(2, 3), previousPrimary))    // half, no smallest
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// Two disjoint groups can never both be subquorums of the same
+// previous group — the property that prevents two primaries.
+func ExampleSubQuorum_disjoint() {
+	previous := proc.NewSet(0, 1, 2, 3, 4)
+	left := proc.NewSet(0, 1)
+	right := proc.NewSet(2, 3, 4)
+
+	fmt.Println(quorum.SubQuorum(left, previous), quorum.SubQuorum(right, previous))
+	// Output: false true
+}

@@ -1,0 +1,44 @@
+// Package quorum implements the voting rules of the thesis.
+//
+// Dynamic linear voting (Jajodia & Mutchler, thesis §3) admits a group
+// X as the successor of a group Y if X holds more than half of Y's
+// members, or exactly half including the lexically smallest member of
+// Y. The same SUBQUORUM primitive is shared by YKD, its variants, and
+// MR1p (thesis Fig 3-4); the simple-majority baseline uses the plain
+// majority rule against the original process set.
+package quorum
+
+import "dynvote/internal/proc"
+
+// SubQuorum reports whether x is a subquorum of y under dynamic linear
+// voting:
+//
+//   - more than half the processes in y are also in x, or
+//   - exactly half of y is in x and the lexically smallest process of
+//     y is in x.
+//
+// An empty y has no subquorums: with no previous membership to anchor
+// to, no group may claim succession.
+func SubQuorum(x, y proc.Set) bool {
+	total := y.Count()
+	if total == 0 {
+		return false
+	}
+	common := x.IntersectCount(y)
+	if 2*common > total {
+		return true
+	}
+	return 2*common == total && x.Contains(y.Smallest())
+}
+
+// Majority reports whether x holds a strict majority of y.
+func Majority(x, y proc.Set) bool {
+	total := y.Count()
+	return total > 0 && 2*x.IntersectCount(y) > total
+}
+
+// MajorityCount reports whether have out of total constitutes a strict
+// majority. Used when counting messages rather than comparing sets.
+func MajorityCount(have, total int) bool {
+	return total > 0 && 2*have > total
+}

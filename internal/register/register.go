@@ -1,0 +1,240 @@
+// Package register is the motivating application of the primary
+// component paradigm (thesis Chapter 1): a replicated key-value store
+// in the style of partitioned replicated databases (El Abbadi &
+// Toueg). Writes are accepted only inside the primary component, so
+// two sides of a partition can never both mutate state; reads are
+// served anywhere but flagged with primacy so callers can distinguish
+// authoritative from possibly-stale data.
+//
+// Replication rides the gcs substrate's application payloads — the
+// same frames that carry the dynamic voting algorithm's own messages,
+// via the thesis's piggybacking interface. Replicas converge by
+// last-writer-wins over a (view, sequence, writer) tag, and every view
+// change triggers an anti-entropy exchange so members that merge back
+// after a partition catch up on what the primary did without them.
+package register
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dynvote/internal/core"
+	"dynvote/internal/gcs"
+	"dynvote/internal/proc"
+	"dynvote/internal/wire"
+)
+
+// ErrNotPrimary is returned by Set when this replica is not in the
+// primary component and must refuse writes.
+var ErrNotPrimary = errors.New("register: not in the primary component")
+
+// Tag orders writes: higher views win, then higher sequence numbers,
+// then higher writer IDs. Comparing tags is how replicas converge
+// deterministically.
+type Tag struct {
+	ViewID int64
+	Seq    uint64
+	Writer proc.ID
+}
+
+// Less reports whether t orders before o.
+func (t Tag) Less(o Tag) bool {
+	if t.ViewID != o.ViewID {
+		return t.ViewID < o.ViewID
+	}
+	if t.Seq != o.Seq {
+		return t.Seq < o.Seq
+	}
+	return t.Writer < o.Writer
+}
+
+// Entry is one stored value with its write tag.
+type Entry struct {
+	Value string
+	Tag   Tag
+}
+
+// Store is one replica of the register.
+type Store struct {
+	id   proc.ID
+	node *gcs.Node
+
+	mu   sync.Mutex
+	data map[string]Entry
+	seq  uint64
+
+	// OnApply, when non-nil, observes applied writes (testing hook).
+	OnApply func(key string, e Entry)
+}
+
+// Config assembles a replica.
+type Config struct {
+	// ID is this replica's process identity.
+	ID proc.ID
+	// N is the total number of replicas.
+	N int
+	// Transport carries the group communication traffic.
+	Transport gcs.Transport
+	// Algorithm selects the primary component algorithm (e.g.
+	// ykd.Factory(ykd.VariantYKD)).
+	Algorithm core.Factory
+}
+
+// Open starts a replica. Close stops it.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{id: cfg.ID, data: make(map[string]Entry)}
+	node, err := gcs.NewNode(gcs.Config{
+		ID:        cfg.ID,
+		N:         cfg.N,
+		Transport: cfg.Transport,
+		Algorithm: cfg.Algorithm,
+		OnEvent:   s.onEvent,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("register: %w", err)
+	}
+	s.node = node
+	node.Run()
+	return s, nil
+}
+
+// Close stops the replica.
+func (s *Store) Close() { s.node.Stop() }
+
+// InPrimary reports whether this replica can accept writes.
+func (s *Store) InPrimary() bool { return s.node.InPrimary() }
+
+// Node exposes the underlying gcs node (for demos that inspect views).
+func (s *Store) Node() *gcs.Node { return s.node }
+
+// Set writes key=value through the primary component. It fails with
+// ErrNotPrimary when this replica is outside the primary.
+func (s *Store) Set(key, value string) error {
+	if !s.node.InPrimary() {
+		return ErrNotPrimary
+	}
+	s.mu.Lock()
+	s.seq++
+	tag := Tag{ViewID: s.node.CurrentView().ID, Seq: s.seq, Writer: s.id}
+	s.mu.Unlock()
+
+	var w wire.Writer
+	w.Byte(opSet)
+	w.Uvarint(1)
+	encodeWrite(&w, key, Entry{Value: value, Tag: tag})
+	return s.node.Broadcast(w.Bytes())
+}
+
+// Get reads a key from this replica. authoritative is true when the
+// replica is currently inside the primary component.
+func (s *Store) Get(key string) (value string, ok, authoritative bool) {
+	s.mu.Lock()
+	e, ok := s.data[key]
+	s.mu.Unlock()
+	return e.Value, ok, s.node.InPrimary()
+}
+
+// Len returns the number of keys stored at this replica.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Snapshot returns a copy of the replica's contents.
+func (s *Store) Snapshot() map[string]Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Entry, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Operation codes on the application payload.
+const (
+	opSet byte = iota + 1
+	opSync
+)
+
+func encodeWrite(w *wire.Writer, key string, e Entry) {
+	w.RawBytes([]byte(key))
+	w.RawBytes([]byte(e.Value))
+	w.Varint(e.Tag.ViewID)
+	w.Uvarint(e.Tag.Seq)
+	w.Varint(int64(e.Tag.Writer))
+}
+
+func decodeWrite(r *wire.Reader) (string, Entry) {
+	key := string(r.RawBytes())
+	val := string(r.RawBytes())
+	return key, Entry{Value: val, Tag: Tag{
+		ViewID: r.Varint(),
+		Seq:    r.Uvarint(),
+		Writer: proc.ID(r.Varint()),
+	}}
+}
+
+// onEvent runs on the gcs node's loop goroutine.
+func (s *Store) onEvent(ev gcs.Event) {
+	switch ev.Kind {
+	case gcs.EventApp:
+		s.applyPayload(ev.Payload)
+	case gcs.EventView:
+		// Anti-entropy: offer our contents to the new view so merged
+		// members catch up. Queued asynchronously — we are on the
+		// loop goroutine and must not block.
+		go s.broadcastSync()
+	}
+}
+
+// broadcastSync ships the full store; small by design (the examples
+// store tens of keys). A production store would ship digests and
+// deltas instead.
+func (s *Store) broadcastSync() {
+	s.mu.Lock()
+	var w wire.Writer
+	w.Byte(opSync)
+	w.Uvarint(uint64(len(s.data)))
+	for k, e := range s.data {
+		encodeWrite(&w, k, e)
+	}
+	s.mu.Unlock()
+	_ = s.node.Broadcast(w.Bytes())
+}
+
+func (s *Store) applyPayload(data []byte) {
+	r := wire.NewReader(data)
+	op := r.Byte()
+	n := r.Uvarint()
+	if r.Err() != nil || n > 1<<20 {
+		return
+	}
+	switch op {
+	case opSet, opSync:
+		for i := uint64(0); i < n; i++ {
+			key, e := decodeWrite(r)
+			if r.Err() != nil {
+				return
+			}
+			s.apply(key, e)
+		}
+	}
+}
+
+// apply merges one write by tag order.
+func (s *Store) apply(key string, e Entry) {
+	s.mu.Lock()
+	cur, ok := s.data[key]
+	newer := !ok || cur.Tag.Less(e.Tag)
+	if newer {
+		s.data[key] = e
+	}
+	cb := s.OnApply
+	s.mu.Unlock()
+	if newer && cb != nil {
+		cb(key, e)
+	}
+}

@@ -1,0 +1,139 @@
+package register_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynvote/internal/gcs"
+	"dynvote/internal/proc"
+	"dynvote/internal/register"
+	"dynvote/internal/ykd"
+)
+
+// waitLong polls like eventually but with a generous deadline: the
+// TCP stack's heartbeat timing is at the mercy of CI scheduling.
+func waitLong(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+func dumpGoroutines(t *testing.T) {
+	t.Helper()
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Logf("goroutines:\n%s", buf[:n])
+}
+
+func dumpStores(t *testing.T, stores []*register.Store, transports []*gcs.TCPTransport) {
+	t.Helper()
+	for i, s := range stores {
+		v, ok, auth := s.Get("k")
+		t.Logf("store %d: inPrimary=%v view=%v k=%q ok=%v auth=%v reach=%v",
+			i, s.InPrimary(), s.Node().CurrentView(), v, ok, auth, transports[i].Reach())
+	}
+}
+
+// TestReplicatedStoreOverTCP runs the full stack on real sockets:
+// dynamic voting, group communication, heartbeat failure detection and
+// the primary-gated store, through a partition and a heal.
+func TestReplicatedStoreOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	const n = 3
+	transports := make([]*gcs.TCPTransport, n)
+	addrs := make(map[proc.ID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := gcs.NewTCPTransport(gcs.TCPConfig{
+			ID:             proc.ID(i),
+			OwnAddr:        "127.0.0.1:0",
+			HeartbeatEvery: 40 * time.Millisecond,
+			FailAfter:      250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		addrs[proc.ID(i)] = tr.Addr()
+	}
+	for _, tr := range transports {
+		tr.SetPeers(addrs)
+	}
+
+	stores := make([]*register.Store, n)
+	for i := 0; i < n; i++ {
+		s, err := register.Open(register.Config{
+			ID: proc.ID(i), N: n,
+			Transport: transports[i],
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	t.Cleanup(func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	})
+
+	waitLong(t, "tcp cluster converges", func() bool {
+		for _, s := range stores {
+			if !s.InPrimary() {
+				return false
+			}
+		}
+		return true
+	})
+	if err := stores[0].Set("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	waitLong(t, "write replicates over tcp", func() bool {
+		v, ok, _ := stores[2].Get("k")
+		return ok && v == "v1"
+	})
+
+	// Partition {0,1} | {2} at the transport layer.
+	transports[0].Block(2)
+	transports[1].Block(2)
+	transports[2].Block(0, 1)
+	defer func() {
+		if t.Failed() {
+			dumpStores(t, stores, transports)
+			dumpGoroutines(t)
+		}
+	}()
+	waitLong(t, "partition settles", func() bool {
+		return stores[0].InPrimary() && !stores[2].InPrimary()
+	})
+	if err := stores[2].Set("k", "rogue"); !errors.Is(err, register.ErrNotPrimary) {
+		t.Fatalf("minority write err = %v, want ErrNotPrimary", err)
+	}
+	if err := stores[0].Set("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal; anti-entropy catches 2 up.
+	for _, tr := range transports {
+		tr.Block()
+	}
+	waitLong(t, "heal + catch-up over tcp", func() bool {
+		for _, s := range stores {
+			v, ok, auth := s.Get("k")
+			if !ok || v != "v2" || !auth {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,179 @@
+package register_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dynvote/internal/gcs"
+	"dynvote/internal/proc"
+	"dynvote/internal/register"
+	"dynvote/internal/ykd"
+)
+
+func startReplicas(t *testing.T, n int) (*gcs.MemNetwork, []*register.Store) {
+	t.Helper()
+	net := gcs.NewMemNetwork(n)
+	stores := make([]*register.Store, n)
+	for i := 0; i < n; i++ {
+		s, err := register.Open(register.Config{
+			ID: proc.ID(i), N: n,
+			Transport: net.Transport(proc.ID(i)),
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	t.Cleanup(func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	})
+	return net, stores
+}
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+func TestWriteReplicatesEverywhere(t *testing.T) {
+	_, stores := startReplicas(t, 3)
+	eventually(t, "cluster primary", func() bool { return stores[0].InPrimary() })
+
+	if err := stores[0].Set("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "write visible on all replicas", func() bool {
+		for _, s := range stores {
+			if v, ok, _ := s.Get("color"); !ok || v != "blue" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestMinoritySideRefusesWrites(t *testing.T) {
+	net, stores := startReplicas(t, 5)
+	eventually(t, "cluster primary", func() bool { return stores[4].InPrimary() })
+
+	if err := net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "partition settles", func() bool {
+		return stores[0].InPrimary() && !stores[4].InPrimary()
+	})
+
+	if err := stores[4].Set("x", "rogue"); !errors.Is(err, register.ErrNotPrimary) {
+		t.Fatalf("minority Set err = %v, want ErrNotPrimary", err)
+	}
+	if err := stores[0].Set("x", "legit"); err != nil {
+		t.Fatalf("primary Set err = %v", err)
+	}
+	eventually(t, "primary write replicated within the primary", func() bool {
+		v, ok, auth := stores[2].Get("x")
+		return ok && v == "legit" && auth
+	})
+	// The detached side must not see the write and must report
+	// non-authoritative reads.
+	if _, ok, auth := stores[4].Get("x"); ok || auth {
+		t.Error("minority replica sees primary-side write or claims authority")
+	}
+}
+
+func TestMergeCatchesUpViaAntiEntropy(t *testing.T) {
+	net, stores := startReplicas(t, 5)
+	eventually(t, "cluster primary", func() bool { return stores[0].InPrimary() })
+
+	if err := net.SetComponents(proc.NewSet(0, 1, 2), proc.NewSet(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "partition settles", func() bool {
+		return stores[0].InPrimary() && !stores[3].InPrimary()
+	})
+
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		if err := stores[0].Set(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "writes inside primary", func() bool { return stores[2].Len() == 3 })
+
+	if err := net.SetComponents(proc.Universe(5)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "merged members catch up", func() bool {
+		for _, s := range stores {
+			if s.Len() != 3 {
+				return false
+			}
+			if v, ok, _ := s.Get("b"); !ok || v != "2" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestLastWriterWinsConvergence(t *testing.T) {
+	_, stores := startReplicas(t, 3)
+	eventually(t, "cluster primary", func() bool { return stores[0].InPrimary() })
+
+	// Concurrent writers to the same key inside the primary: all
+	// replicas must converge to a single value.
+	if err := stores[0].Set("k", "from-zero"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[1].Set("k", "from-one"); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "replicas converge on one value", func() bool {
+		v0, ok0, _ := stores[0].Get("k")
+		v1, ok1, _ := stores[1].Get("k")
+		v2, ok2, _ := stores[2].Get("k")
+		return ok0 && ok1 && ok2 && v0 == v1 && v1 == v2
+	})
+}
+
+func TestTagOrdering(t *testing.T) {
+	a := register.Tag{ViewID: 1, Seq: 5, Writer: 2}
+	cases := []struct {
+		b    register.Tag
+		less bool // a < b
+	}{
+		{register.Tag{ViewID: 2, Seq: 0, Writer: 0}, true},
+		{register.Tag{ViewID: 1, Seq: 6, Writer: 0}, true},
+		{register.Tag{ViewID: 1, Seq: 5, Writer: 3}, true},
+		{register.Tag{ViewID: 1, Seq: 5, Writer: 2}, false},
+		{register.Tag{ViewID: 0, Seq: 9, Writer: 9}, false},
+	}
+	for i, c := range cases {
+		if got := a.Less(c.b); got != c.less {
+			t.Errorf("case %d: Less = %v, want %v", i, got, c.less)
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	_, stores := startReplicas(t, 3)
+	eventually(t, "cluster primary", func() bool { return stores[0].InPrimary() })
+	if err := stores[0].Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "applied locally", func() bool { return stores[0].Len() == 1 })
+	snap := stores[0].Snapshot()
+	snap["k"] = register.Entry{Value: "mutated"}
+	if v, _, _ := stores[0].Get("k"); v != "v" {
+		t.Error("Snapshot aliases internal state")
+	}
+}

@@ -1,0 +1,74 @@
+// Package rng provides the deterministic, splittable randomness used
+// throughout the simulation study.
+//
+// Every figure in the thesis is a statistic over 1000 randomized runs,
+// and "the same random sequence was used to test each of the
+// algorithms" (§4.1) — so reproducibility is part of the experiment
+// design, not a convenience. A Source derives independent child
+// sources from string/integer labels with a SplitMix64 hash, so the
+// run (figure, case, run-index) always sees the same draws no matter
+// how work is scheduled.
+package rng
+
+import "math/rand"
+
+// Source is a deterministic random source. It is not safe for
+// concurrent use; derive one source per goroutine with Child.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(int64(mix(uint64(seed)))))}
+}
+
+// Child derives an independent source labelled by the given parts.
+// Equal labels on equal parents yield identical child streams.
+func (s *Source) Child(parts ...int64) *Source {
+	h := uint64(s.r.Int63()) // advance parent deterministically
+	for _, p := range parts {
+		h = mix(h ^ uint64(p))
+	}
+	return &Source{r: rand.New(rand.NewSource(int64(h)))}
+}
+
+// ChildLabel derives an independent source from a string label without
+// advancing the parent, so named children are order-independent.
+func (s *Source) ChildLabel(label string, parts ...int64) *Source {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < len(label); i++ {
+		h = mix(h ^ uint64(label[i]))
+	}
+	for _, p := range parts {
+		h = mix(h ^ uint64(p))
+	}
+	return &Source{r: rand.New(rand.NewSource(int64(h)))}
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.r.Intn(2) == 0 }
+
+// Perm returns a uniform permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle permutes n elements via the given swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// mix is the SplitMix64 finalizer: a cheap bijective hash with good
+// avalanche, used to decorrelate derived seeds.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,101 @@
+package rng
+
+import "testing"
+
+func drain(s *Source, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = s.Int63()
+	}
+	return out
+}
+
+func equalSeq(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	if !equalSeq(drain(a, 50), drain(b, 50)) {
+		t.Error("equal seeds produced different streams")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	if equalSeq(drain(New(1), 20), drain(New(2), 20)) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestChildDeterminism(t *testing.T) {
+	a := New(9).Child(3, 4)
+	b := New(9).Child(3, 4)
+	if !equalSeq(drain(a, 20), drain(b, 20)) {
+		t.Error("equal child labels produced different streams")
+	}
+	c := New(9).Child(3, 5)
+	if equalSeq(drain(New(9).Child(3, 4), 20), drain(c, 20)) {
+		t.Error("different child labels produced identical streams")
+	}
+}
+
+func TestChildLabelOrderIndependent(t *testing.T) {
+	p := New(11)
+	a := p.ChildLabel("x", 1)
+	b := p.ChildLabel("y", 1)
+	p2 := New(11)
+	b2 := p2.ChildLabel("y", 1)
+	a2 := p2.ChildLabel("x", 1)
+	if !equalSeq(drain(a, 10), drain(a2, 10)) || !equalSeq(drain(b, 10), drain(b2, 10)) {
+		t.Error("ChildLabel depends on derivation order")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 1000; i++ {
+		if v := s.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of range", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) = %v not a permutation", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	s := New(10)
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < n/3 || trues > 2*n/3 {
+		t.Errorf("Bool badly biased: %d/%d", trues, n)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+)
+
+// SafetyError reports a violated invariant, the thesis's trial-by-fire
+// failure condition (§2.2: "at all times there was at most one primary
+// component declared. Every process in a view agreed on whether or not
+// that view was a primary").
+type SafetyError struct {
+	// Reason describes the violation.
+	Reason string
+}
+
+// Error implements error.
+func (e *SafetyError) Error() string { return "sim: safety violation: " + e.Reason }
+
+// CheckOnePrimary verifies that at most one component is a declared
+// primary. A component — identified by its members' shared current
+// view — counts as a declared primary when every one of its members
+// reports InPrimary.
+func CheckOnePrimary(c *Cluster) error {
+	primaries := 0
+	var first string
+	for _, v := range c.CurrentViews() {
+		if allInPrimary(c, v.Members) {
+			primaries++
+			if primaries == 1 {
+				first = v.String()
+				continue
+			}
+			return &SafetyError{Reason: fmt.Sprintf(
+				"two primary components declared: %s and %s", first, v)}
+		}
+	}
+	return nil
+}
+
+// CheckStableAgreement verifies the quiescent-state invariant: within
+// each view, all members agree on whether the view is a primary, and
+// members that claim primacy agree on its membership. Only valid when
+// the cluster is quiescent.
+func CheckStableAgreement(c *Cluster) error {
+	if !c.Quiescent() {
+		return fmt.Errorf("sim: agreement check requires a quiescent cluster")
+	}
+	for _, v := range c.CurrentViews() {
+		inP, outP := 0, 0
+		var primarySet proc.Set
+		havePrimarySet := false
+		var disagree bool
+		v.Members.Diff(c.Crashed()).ForEach(func(p proc.ID) {
+			alg := c.Algorithm(p)
+			if !alg.InPrimary() {
+				outP++
+				return
+			}
+			inP++
+			if pr, ok := alg.(core.PrimaryReporter); ok {
+				if !havePrimarySet {
+					primarySet = pr.PrimaryMembers()
+					havePrimarySet = true
+				} else if !primarySet.Equal(pr.PrimaryMembers()) {
+					disagree = true
+				}
+			}
+		})
+		if inP > 0 && outP > 0 {
+			return &SafetyError{Reason: fmt.Sprintf(
+				"members of %s disagree on primacy (%d in, %d out)", v, inP, outP)}
+		}
+		if disagree {
+			return &SafetyError{Reason: fmt.Sprintf(
+				"members of %s disagree on the primary's membership", v)}
+		}
+	}
+	return nil
+}
+
+// allInPrimary reports whether every live member is in the primary;
+// crashed members' frozen state is ignored, and a view with no live
+// members never counts.
+func allInPrimary(c *Cluster, members proc.Set) bool {
+	live := members.Diff(c.Crashed())
+	if live.Empty() {
+		return false
+	}
+	all := true
+	live.ForEach(func(p proc.ID) {
+		if !c.Algorithm(p).InPrimary() {
+			all = false
+		}
+	})
+	return all
+}
+
+// HasPrimary reports whether some component is a declared primary —
+// the availability criterion of every figure in Chapter 4.
+func HasPrimary(c *Cluster) bool {
+	for _, v := range c.CurrentViews() {
+		if allInPrimary(c, v.Members) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+// Package sim is the testing and simulation system of thesis Chapter
+// 2.2: a driver loop that routes messages among algorithm instances
+// without any network, injects connectivity changes, checks safety
+// invariants, and gathers the statistics behind every figure in the
+// availability study.
+//
+// The package has two layers. Cluster is the routing engine: it owns
+// one algorithm instance per process, enforces view-synchronous
+// FIFO-broadcast delivery, and exposes single-delivery granularity so
+// a connectivity change can strike between any two deliveries — the
+// mid-protocol interruptions whose effect the thesis measures. Driver
+// adds the experiment semantics: message rounds, randomized change
+// injection, quiescence detection and statistics.
+package sim
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/trace"
+	"dynvote/internal/view"
+)
+
+// envelope is one broadcast in flight: a message, the view it was sent
+// in, and the recipients it has not yet reached (in randomized order).
+type envelope struct {
+	viewID     int64
+	msg        core.Message
+	recipients []proc.ID
+	next       int // index of the next recipient to deliver to
+}
+
+func (e *envelope) done() bool { return e.next >= len(e.recipients) }
+
+// DropFilter lets tests script message loss: returning true drops the
+// single delivery of msg from sender to recipient.
+type DropFilter func(from, to proc.ID, msg core.Message) bool
+
+// Cluster hosts n algorithm instances and routes their broadcasts with
+// view-synchronous, per-sender-FIFO semantics. It performs no
+// randomness of its own beyond delivery-order shuffling driven by the
+// caller's source.
+type Cluster struct {
+	factory core.Factory
+	n       int
+	algs    []core.Algorithm
+	cur     []view.View // current view per process
+
+	queues    [][]*envelope      // per-sender FIFO of in-flight broadcasts
+	active    []int              // senders with pending deliveries (unordered)
+	pending   int                // total undelivered (envelope, recipient) pairs
+	crashed   proc.Set           // fail-stopped processes: no polls, no deliveries
+	snapshots map[proc.ID][]byte // durable state captured at crash time
+
+	// Drop, when non-nil, filters individual deliveries (tests only).
+	Drop DropFilter
+
+	// Bytes, when non-nil, is called with the encoded size of every
+	// collected broadcast, enabling the §3.4 message-size statistics.
+	Bytes func(msgBytes int)
+
+	// Trace, when non-nil, records view installations, deliveries and
+	// drops for debugging.
+	Trace *trace.Recorder
+}
+
+// NewCluster creates n algorithm instances, all starting in the
+// initial all-connected view with ID 0.
+func NewCluster(factory core.Factory, n int) *Cluster {
+	initial := view.View{ID: 0, Members: proc.Universe(n)}
+	c := &Cluster{
+		factory: factory,
+		n:       n,
+		algs:    make([]core.Algorithm, n),
+		cur:     make([]view.View, n),
+		queues:  make([][]*envelope, n),
+	}
+	for i := 0; i < n; i++ {
+		c.algs[i] = factory.New(proc.ID(i), initial)
+		c.cur[i] = initial
+	}
+	return c
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.n }
+
+// Algorithm returns process p's instance.
+func (c *Cluster) Algorithm(p proc.ID) core.Algorithm { return c.algs[p] }
+
+// View returns process p's current view.
+func (c *Cluster) View(p proc.ID) view.View { return c.cur[p] }
+
+// Crash fail-stops process p: it is never polled again, receives no
+// further deliveries or views, and its in-flight broadcasts are
+// discarded. If the algorithm supports snapshots, its durable state is
+// captured as stable storage would hold it, enabling Recover.
+func (c *Cluster) Crash(p proc.ID) {
+	if c.crashed.Contains(p) || int(p) >= c.n {
+		return
+	}
+	c.crashed = c.crashed.With(p)
+	if snap, ok := c.algs[p].(core.Snapshotter); ok {
+		if data, err := snap.Snapshot(); err == nil {
+			if c.snapshots == nil {
+				c.snapshots = make(map[proc.ID][]byte)
+			}
+			c.snapshots[p] = data
+		}
+	}
+	// Discard the crashed process's undelivered broadcasts.
+	for len(c.queues[p]) > 0 {
+		env := c.queues[p][0]
+		c.pending -= len(env.recipients) - env.next
+		c.queues[p] = c.queues[p][1:]
+	}
+	for i, s := range c.active {
+		if s == int(p) {
+			c.active[i] = c.active[len(c.active)-1]
+			c.active = c.active[:len(c.active)-1]
+			break
+		}
+	}
+}
+
+// Crashed returns the set of fail-stopped processes.
+func (c *Cluster) Crashed() proc.Set { return c.crashed }
+
+// Recover brings a crashed process back: a fresh algorithm instance is
+// built and its durable state restored from the snapshot taken at
+// crash time (stable storage); algorithms without snapshot support
+// resume with their frozen in-memory state, which is equivalent for
+// the stateless baseline. The caller must issue the recovered
+// process's current (singleton) view immediately afterwards.
+func (c *Cluster) Recover(p proc.ID) error {
+	if !c.crashed.Contains(p) {
+		return fmt.Errorf("sim: process %v is not crashed", p)
+	}
+	if data, ok := c.snapshots[p]; ok {
+		initial := view.View{ID: 0, Members: proc.Universe(c.n)}
+		fresh := c.factory.New(p, initial)
+		snap, ok := fresh.(core.Snapshotter)
+		if !ok {
+			return fmt.Errorf("sim: %s snapshot exists but instance cannot restore", c.factory.Name)
+		}
+		if err := snap.Restore(data); err != nil {
+			return fmt.Errorf("sim: recover %v: %w", p, err)
+		}
+		c.algs[p] = fresh
+		delete(c.snapshots, p)
+	}
+	c.crashed = c.crashed.Without(p)
+	return nil
+}
+
+// IssueViews reports new views to their members, exactly as a group
+// membership service would. Callers must Collect first so that
+// messages sent in the old views are tagged correctly.
+func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
+	for _, v := range views {
+		// Deliver the view to members in random order: the relative
+		// timing of view callbacks is not part of the model.
+		members := v.Members.Members()
+		r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+		for _, p := range members {
+			if c.crashed.Contains(p) {
+				continue
+			}
+			c.cur[p] = v
+			c.algs[p].ViewChange(v)
+			if c.Trace != nil {
+				c.Trace.Record(trace.Event{Kind: trace.KindView, Process: p, View: v})
+			}
+		}
+	}
+}
+
+// Collect polls every process and enqueues its broadcasts, tagged with
+// the sender's current view. It returns the number of new (envelope,
+// recipient) deliveries enqueued.
+func (c *Cluster) Collect(r *rng.Source) int {
+	added := 0
+	for p := 0; p < c.n; p++ {
+		if c.crashed.Contains(proc.ID(p)) {
+			continue
+		}
+		msgs := c.algs[p].Poll()
+		if len(msgs) == 0 {
+			continue
+		}
+		v := c.cur[p]
+		for _, m := range msgs {
+			if c.Bytes != nil && c.factory.Codec != nil {
+				if b, err := c.factory.Codec.Encode(m); err == nil {
+					c.Bytes(len(b))
+				}
+			}
+			recipients := recipientsOf(v.Members, proc.ID(p))
+			if len(recipients) == 0 {
+				continue // broadcast in a singleton view reaches nobody
+			}
+			r.Shuffle(len(recipients), func(i, j int) {
+				recipients[i], recipients[j] = recipients[j], recipients[i]
+			})
+			if len(c.queues[p]) == 0 {
+				c.active = append(c.active, p)
+			}
+			c.queues[p] = append(c.queues[p], &envelope{
+				viewID:     v.ID,
+				msg:        m,
+				recipients: recipients,
+			})
+			added += len(recipients)
+		}
+	}
+	c.pending += added
+	return added
+}
+
+func recipientsOf(members proc.Set, sender proc.ID) []proc.ID {
+	out := make([]proc.ID, 0, members.Count()-1)
+	members.ForEach(func(q proc.ID) {
+		if q != sender {
+			out = append(out, q)
+		}
+	})
+	return out
+}
+
+// PendingDeliveries returns the number of undelivered (envelope,
+// recipient) pairs.
+func (c *Cluster) PendingDeliveries() int { return c.pending }
+
+// DeliverOne performs a single delivery step: it picks a uniformly
+// random sender with pending traffic and delivers that sender's next
+// (message, recipient) pair, preserving per-sender FIFO order. The
+// delivery is dropped — silently consumed — if the recipient has moved
+// to a different view than the one the message was sent in
+// (view-synchronous semantics: a process that detaches before
+// receiving a message never receives it). It returns false if nothing
+// was pending.
+func (c *Cluster) DeliverOne(r *rng.Source) bool {
+	if c.pending == 0 {
+		return false
+	}
+	ai := r.Intn(len(c.active))
+	sender := c.active[ai]
+	q := c.queues[sender]
+	env := q[0]
+
+	to := env.recipients[env.next]
+	env.next++
+	c.pending--
+
+	if env.done() {
+		copy(q, q[1:])
+		q = q[:len(q)-1]
+		c.queues[sender] = q
+		if len(q) == 0 {
+			c.active[ai] = c.active[len(c.active)-1]
+			c.active = c.active[:len(c.active)-1]
+		}
+	}
+
+	if c.crashed.Contains(to) {
+		c.traceDelivery(trace.KindDrop, sender, to, env, "crashed")
+		return true // dropped: recipient is gone
+	}
+	if c.cur[to].ID != env.viewID {
+		c.traceDelivery(trace.KindDrop, sender, to, env, "view changed")
+		return true // dropped: recipient left the view
+	}
+	if c.Drop != nil && c.Drop(proc.ID(sender), to, env.msg) {
+		c.traceDelivery(trace.KindDrop, sender, to, env, "filtered")
+		return true // dropped by the test's filter
+	}
+	c.algs[to].Deliver(proc.ID(sender), env.msg)
+	c.traceDelivery(trace.KindDeliver, sender, to, env, "")
+	return true
+}
+
+func (c *Cluster) traceDelivery(kind trace.Kind, sender int, to proc.ID, env *envelope, why string) {
+	if c.Trace == nil {
+		return
+	}
+	detail := env.msg.Kind()
+	if why != "" {
+		detail += " (" + why + ")"
+	}
+	c.Trace.Record(trace.Event{Kind: kind, Process: to, From: proc.ID(sender), Detail: detail})
+}
+
+// DeliverAll drains every pending delivery in randomized order.
+func (c *Cluster) DeliverAll(r *rng.Source) {
+	for c.DeliverOne(r) {
+	}
+}
+
+// Round runs one message round: collect all broadcasts, then deliver
+// them all. It returns the number of deliveries scheduled.
+func (c *Cluster) Round(r *rng.Source) int {
+	n := c.Collect(r)
+	c.DeliverAll(r)
+	return n
+}
+
+// RunToQuiescence runs rounds until no process has anything to send
+// and no delivery is pending. It returns the number of rounds
+// executed and an error if maxRounds is exceeded (indicating a
+// livelock in the algorithm under test).
+func (c *Cluster) RunToQuiescence(r *rng.Source, maxRounds int) (int, error) {
+	for rounds := 0; ; rounds++ {
+		if rounds > maxRounds {
+			return rounds, fmt.Errorf("sim: no quiescence after %d rounds", maxRounds)
+		}
+		if c.Round(r) == 0 && c.pending == 0 {
+			return rounds, nil
+		}
+	}
+}
+
+// Quiescent reports whether no deliveries are pending. It does not
+// poll; call after Round or RunToQuiescence.
+func (c *Cluster) Quiescent() bool { return c.pending == 0 }
+
+// CurrentViews returns the distinct current views, i.e. the network
+// components as the processes perceive them.
+func (c *Cluster) CurrentViews() []view.View {
+	seen := make(map[int64]bool, 4)
+	var out []view.View
+	for p := 0; p < c.n; p++ {
+		if c.crashed.Contains(proc.ID(p)) {
+			continue
+		}
+		v := c.cur[p]
+		if !seen[v.ID] {
+			seen[v.ID] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

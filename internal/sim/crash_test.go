@@ -1,0 +1,165 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+func TestClusterCrashStopsParticipation(t *testing.T) {
+	c := sim.NewCluster(ykd.Factory(ykd.VariantYKD), 4)
+	r := rng.New(3)
+	c.Crash(1)
+	if !c.Crashed().Equal(proc.NewSet(1)) {
+		t.Fatalf("Crashed = %v", c.Crashed())
+	}
+	// Views exclude the crashed process; issuing one anyway must not
+	// reach it.
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 2, 3)})
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	// {0,2,3} is 3 of 4: primary forms among the survivors.
+	if !c.Algorithm(0).InPrimary() {
+		t.Error("survivors should form a primary")
+	}
+	if err := sim.CheckOnePrimary(c); err != nil {
+		t.Error(err)
+	}
+	if err := sim.CheckStableAgreement(c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckerIgnoresCrashedStaleState(t *testing.T) {
+	// A process that crashes while in a primary keeps stale
+	// inPrimary=true; the checker must not count it.
+	c := sim.NewCluster(ykd.Factory(ykd.VariantYKD), 3)
+	r := rng.New(5)
+	c.Crash(0) // still believes it is in the initial primary
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(1, 2)})
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	// {1,2} is a majority of 3 and forms; the crashed 0's frozen state
+	// must not register as a second primary.
+	if err := sim.CheckOnePrimary(c); err != nil {
+		t.Errorf("checker counted a crashed process's stale primary: %v", err)
+	}
+	if !sim.HasPrimary(c) {
+		t.Error("survivor primary not detected")
+	}
+}
+
+func TestDriverCrashPlanSpecificVictim(t *testing.T) {
+	d := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
+		Procs: 16, Changes: 6, MeanRounds: 2, CheckSafety: true,
+		Crash: &sim.CrashPlan{AfterChanges: 2, Process: 0},
+	}, rng.New(11))
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cluster().Crashed().Contains(0) {
+		t.Error("process 0 was not crashed")
+	}
+	if !d.Topology().Crashed().Contains(0) {
+		t.Error("topology does not record the crash")
+	}
+	// The crash counts as one of the injected changes.
+	if res.ChangesInjected != 6 {
+		t.Errorf("ChangesInjected = %d, want 6", res.ChangesInjected)
+	}
+	if err := d.Topology().CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriverCrashPlanRandomVictim(t *testing.T) {
+	d := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
+		Procs: 16, Changes: 6, MeanRounds: 2, CheckSafety: true,
+		Crash: &sim.CrashPlan{AfterChanges: 0, Process: proc.None},
+	}, rng.New(13))
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cluster().Crashed().Count(); got != 1 {
+		t.Errorf("crashed %d processes, want exactly 1", got)
+	}
+}
+
+func TestCrashIsPermanentAcrossCascade(t *testing.T) {
+	d := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
+		Procs: 8, Changes: 4, MeanRounds: 2, CheckSafety: true,
+		Crash: &sim.CrashPlan{AfterChanges: 1, Process: 3},
+	}, rng.New(17))
+	for i := 0; i < 5; i++ {
+		d.Heal()
+		if _, err := d.Run(); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if !d.Cluster().Crashed().Contains(3) {
+			t.Fatal("crash did not persist")
+		}
+		// Heal must never resurrect the crashed process into a view.
+		if d.Cluster().View(0).Contains(3) && d.Cluster().View(0).ID != 0 {
+			t.Fatal("crashed process reappeared in a live view")
+		}
+	}
+}
+
+// TestEternalBlockingOfOnePending reproduces the thesis §4.1 claim
+// verbatim: "permanent absence of some member of the latest ambiguous
+// session may cause eternal blocking" — for 1-pending, while YKD makes
+// progress in the same situation.
+func TestEternalBlockingOfOnePending(t *testing.T) {
+	run := func(variant ykd.Variant) *sim.Cluster {
+		c := sim.NewCluster(ykd.Factory(variant), 5)
+		r := rng.New(1)
+		// {0,1,2} attempt a primary; nobody completes it (all attempt
+		// messages to the members are lost), leaving session {0,1,2}
+		// pending.
+		c.Drop = func(_, to proc.ID, m core.Message) bool {
+			_, isAttempt := m.(*ykd.AttemptMessage)
+			return isAttempt && to <= 2
+		}
+		c.Collect(r)
+		c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+			view.View{ID: 2, Members: proc.NewSet(3, 4)})
+		if _, err := c.RunToQuiescence(r, 1000); err != nil {
+			t.Fatal(err)
+		}
+		c.Drop = nil
+
+		// Process 2 crashes forever. The remaining members can never
+		// hear from all of {0,1,2} again.
+		c.Crash(2)
+		c.Collect(r)
+		c.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(0, 1, 3, 4)})
+		if _, err := c.RunToQuiescence(r, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.CheckOnePrimary(c); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// YKD pipelines past the pending session ({0,1,3,4} holds 2 of 3
+	// of it and a majority of W) and forms.
+	cy := run(ykd.VariantYKD)
+	if !cy.Algorithm(0).InPrimary() {
+		t.Error("ykd should make progress despite the crashed member")
+	}
+
+	// 1-pending blocks eternally: the session can never be resolved.
+	cp := run(ykd.VariantOnePending)
+	if cp.Algorithm(0).InPrimary() {
+		t.Error("1-pending formed a primary despite an unresolvable pending session")
+	}
+}

@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/ykd"
+)
+
+// A complete experiment in a few lines: 16 processes, six connectivity
+// changes at a mean of two message rounds apart, safety checked after
+// every round.
+func ExampleDriver() {
+	driver := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
+		Procs:       16,
+		Changes:     6,
+		MeanRounds:  2,
+		CheckSafety: true,
+	}, rng.New(42))
+
+	res, err := driver.Run()
+	if err != nil {
+		fmt.Println("safety violation:", err)
+		return
+	}
+	fmt.Println("changes injected:", res.ChangesInjected)
+	fmt.Println("primary at stabilization:", res.PrimaryFormed)
+	// Output:
+	// changes injected: 6
+	// primary at stabilization: true
+}

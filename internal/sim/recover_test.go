@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/core"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+func TestRecoverRestoresFromSnapshot(t *testing.T) {
+	c := sim.NewCluster(ykd.Factory(ykd.VariantYKD), 5)
+	r := rng.New(3)
+	// Form a smaller primary so the durable state is non-trivial.
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+		view.View{ID: 2, Members: proc.NewSet(3, 4)})
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Algorithm(1).(*ykd.Algorithm).LastPrimary()
+
+	c.Crash(1)
+	if err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	alg := c.Algorithm(1).(*ykd.Algorithm)
+	if alg.InPrimary() {
+		t.Error("recovered process must not claim primacy before rejoining")
+	}
+	if !alg.LastPrimary().Equal(before) {
+		t.Errorf("durable state lost: lastPrimary = %v, want %v", alg.LastPrimary(), before)
+	}
+
+	// Rejoining works: 1's memory of the {0,1,2} primary lets the
+	// group re-form.
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(1)})
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 4, Members: proc.NewSet(0, 1, 2)})
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !alg.InPrimary() {
+		t.Error("recovered process failed to rejoin the primary")
+	}
+	if err := sim.CheckOnePrimary(c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoverNotCrashed(t *testing.T) {
+	c := sim.NewCluster(ykd.Factory(ykd.VariantYKD), 3)
+	if err := c.Recover(0); err == nil {
+		t.Error("Recover of a live process accepted")
+	}
+}
+
+// TestRecoveryCuresEternalBlocking completes the eternal-blocking
+// story: the crashed member of 1-pending's unresolvable session
+// recovers with its durable state, reconnects, and the session finally
+// resolves — the only cure short of switching algorithms.
+func TestRecoveryCuresEternalBlocking(t *testing.T) {
+	c := sim.NewCluster(ykd.Factory(ykd.VariantOnePending), 5)
+	r := rng.New(1)
+	// Pending session {0,1,2} that nobody formed.
+	c.Drop = func(_, to proc.ID, m core.Message) bool {
+		_, isAttempt := m.(*ykd.AttemptMessage)
+		return isAttempt && to <= 2
+	}
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+		view.View{ID: 2, Members: proc.NewSet(3, 4)})
+	if _, err := c.RunToQuiescence(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop = nil
+
+	// 2 crashes; the others block forever (see
+	// TestEternalBlockingOfOnePending).
+	c.Crash(2)
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(0, 1, 3, 4)})
+	if _, err := c.RunToQuiescence(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Algorithm(0).InPrimary() {
+		t.Fatal("setup broken: 1-pending should be blocked")
+	}
+
+	// 2 recovers from stable storage and rejoins: all members of the
+	// pending session are reachable again, it resolves, and the full
+	// view forms.
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 4, Members: proc.NewSet(2)})
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 5, Members: proc.Universe(5)})
+	if _, err := c.RunToQuiescence(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Algorithm(0).InPrimary() {
+		t.Error("recovery should unblock 1-pending")
+	}
+	if err := sim.CheckStableAgreement(c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriverCrashRecoverPlan(t *testing.T) {
+	for _, f := range algset.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			d := sim.NewDriver(f, sim.Config{
+				Procs: 12, Changes: 10, MeanRounds: 2, CheckSafety: true,
+				Crash: &sim.CrashPlan{AfterChanges: 2, Process: 3, RecoverAfter: 4},
+			}, rng.New(21))
+			if _, err := d.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if d.Cluster().Crashed().Contains(3) {
+				t.Error("process 3 should have recovered")
+			}
+			if d.Topology().Crashed().Contains(3) {
+				t.Error("topology still records the crash")
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripBehaviour: a restored instance behaves exactly
+// like the original on the same subsequent inputs.
+func TestSnapshotRoundTripBehaviour(t *testing.T) {
+	factories := []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantDFLS),
+		mr1p.Factory(),
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			// Drive two identical clusters through churn; snapshot and
+			// restore one instance mid-way; outcomes must match.
+			run := func(restore bool) bool {
+				c := sim.NewCluster(f, 6)
+				r := rng.New(9)
+				c.Collect(r)
+				c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2, 3)},
+					view.View{ID: 2, Members: proc.NewSet(4, 5)})
+				if _, err := c.RunToQuiescence(r, 200); err != nil {
+					t.Fatal(err)
+				}
+				if restore {
+					c.Crash(2)
+					if err := c.Recover(2); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.Collect(r)
+				c.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(0, 1, 2)},
+					view.View{ID: 4, Members: proc.NewSet(3, 4, 5)})
+				if _, err := c.RunToQuiescence(r, 200); err != nil {
+					t.Fatal(err)
+				}
+				return c.Algorithm(2).InPrimary()
+			}
+			if run(false) != run(true) {
+				t.Error("restored instance diverged from the original")
+			}
+		})
+	}
+}

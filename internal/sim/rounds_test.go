@@ -1,0 +1,104 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/dfls"
+	"dynvote/internal/majority"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/onepending"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// roundsToQuiesce measures the message rounds one uninterrupted view
+// change costs an algorithm — the §3.4 comparison: YKD, unoptimized
+// YKD and 1-pending need two rounds, DFLS three, MR1p two without a
+// pending session (and five with one, measured separately).
+func roundsToQuiesce(t *testing.T, f core.Factory) int {
+	t.Helper()
+	c := sim.NewCluster(f, 5)
+	r := rng.New(4)
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+		view.View{ID: 2, Members: proc.NewSet(3, 4)})
+	rounds, err := c.RunToQuiescence(r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Algorithm(0).InPrimary() {
+		t.Fatalf("%s: majority side did not form", f.Name)
+	}
+	// RunToQuiescence's return value counts exactly the non-empty
+	// rounds: the terminating empty round is detected at index
+	// `rounds` and not included.
+	return rounds
+}
+
+func TestMessageRoundCounts(t *testing.T) {
+	want := map[string]int{
+		ykd.VariantYKD.String():         2,
+		ykd.VariantUnoptimized.String(): 2,
+		onepending.Name:                 2,
+		dfls.Name:                       3,
+		mr1p.Name:                       2, // no pending session: rounds 4 and 5 only
+		majority.Name:                   0,
+	}
+	factories := []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantUnoptimized),
+		onepending.Factory(),
+		dfls.Factory(),
+		mr1p.Factory(),
+		majority.Factory(),
+	}
+	for _, f := range factories {
+		got := roundsToQuiesce(t, f)
+		if got != want[f.Name] {
+			t.Errorf("%s: %d message rounds per formation, thesis §3.4 says %d",
+				f.Name, got, want[f.Name])
+		}
+	}
+}
+
+// TestMR1pFiveRoundsWithPending verifies the other half of the §3.4
+// claim: resolving a pending ambiguous session costs MR1p five rounds.
+func TestMR1pFiveRoundsWithPending(t *testing.T) {
+	c := sim.NewCluster(mr1p.Factory(), 5)
+	r := rng.New(4)
+	// Leave {0,1,2} with a pending session at the attempt stage.
+	c.Drop = func(_, to proc.ID, m core.Message) bool {
+		_, ok := m.(*mr1p.AttemptMessage)
+		return ok && to <= 2
+	}
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)},
+		view.View{ID: 2, Members: proc.NewSet(3, 4)})
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop = nil
+
+	// Fresh view of the same three: resolution (3 rounds) + formation
+	// (2 rounds).
+	c.Collect(r)
+	c.IssueViews(r, view.View{ID: 3, Members: proc.NewSet(0, 1, 2)})
+	rounds, err := c.RunToQuiescence(r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Algorithm(0).InPrimary() {
+		t.Fatal("resolution did not complete")
+	}
+	// The thesis counts five rounds; this implementation documents a
+	// deliberate merge of the thesis's rounds 1 and 2 (a holder's
+	// report doubles as its relay — see the mr1p package comment), so
+	// resolution + formation costs four.
+	if rounds != 4 {
+		t.Errorf("MR1p with pending session took %d rounds, want 4 (5 in the thesis, minus the merged relay round)", rounds)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "dynvote/internal/rng"
+
+// Schedule decides how many connectivity changes strike in each
+// message round. The thesis uses a single uniform-probability model
+// and explicitly invites other probability functions (§5.1); the
+// implementations below are stateless so one value can drive any
+// number of drivers.
+type Schedule interface {
+	// Burst returns how many changes to inject in the given round
+	// (0-based), at most remaining.
+	Burst(r *rng.Source, round, remaining int) int
+}
+
+// GeometricSchedule is the thesis's model: each round injects a
+// geometric number of changes with success probability
+// p = 1/(1+MeanRounds), making the mean number of rounds between
+// changes exactly MeanRounds. MeanRounds zero floods the full budget
+// at once.
+type GeometricSchedule struct {
+	// MeanRounds is the mean number of message rounds between
+	// consecutive changes.
+	MeanRounds float64
+}
+
+// Burst implements Schedule.
+func (s GeometricSchedule) Burst(r *rng.Source, _, remaining int) int {
+	p := 1 / (1 + s.MeanRounds)
+	burst := 0
+	for burst < remaining && r.Float64() < p {
+		burst++
+	}
+	return burst
+}
+
+// PeriodicSchedule injects exactly one change every Every rounds — a
+// deterministic clock, the least bursty timing possible.
+type PeriodicSchedule struct {
+	// Every is the period in rounds; values below 1 mean every round.
+	Every int
+}
+
+// Burst implements Schedule.
+func (s PeriodicSchedule) Burst(_ *rng.Source, round, remaining int) int {
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	if remaining > 0 && round%every == 0 {
+		return 1
+	}
+	return 0
+}
+
+// ClusteredSchedule models heavily correlated turbulence: change
+// events arrive with the geometric rate of MeanRounds, but each event
+// is a cluster of BurstSize back-to-back changes — a router flapping
+// rather than failing once.
+type ClusteredSchedule struct {
+	// MeanRounds is the mean number of rounds between clusters.
+	MeanRounds float64
+	// BurstSize is the number of changes per cluster (minimum 1).
+	BurstSize int
+}
+
+// Burst implements Schedule.
+func (s ClusteredSchedule) Burst(r *rng.Source, _, remaining int) int {
+	p := 1 / (1 + s.MeanRounds)
+	size := s.BurstSize
+	if size < 1 {
+		size = 1
+	}
+	total := 0
+	for total < remaining && r.Float64() < p {
+		total += size
+	}
+	if total > remaining {
+		total = remaining
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/rng"
+	"dynvote/internal/ykd"
+)
+
+func testFactory() core.Factory { return ykd.Factory(ykd.VariantYKD) }
+
+func TestGeometricScheduleMean(t *testing.T) {
+	// Empirical mean rounds between changes must track MeanRounds.
+	for _, mean := range []float64{0.5, 2, 6} {
+		s := GeometricSchedule{MeanRounds: mean}
+		r := rng.New(42)
+		changes, rounds := 0, 0
+		for rounds < 200000 {
+			changes += s.Burst(r, rounds, 1<<30)
+			rounds++
+		}
+		// E[burst/round] = p/(1-p), so rounds per change = (1-p)/p =
+		// MeanRounds.
+		got := float64(rounds) / float64(changes)
+		if got < mean*0.9-0.1 || got > mean*1.1+0.1 {
+			t.Errorf("mean %v: empirical rounds-between = %.2f", mean, got)
+		}
+	}
+}
+
+func TestGeometricScheduleZeroFloods(t *testing.T) {
+	s := GeometricSchedule{MeanRounds: 0}
+	if got := s.Burst(rng.New(1), 0, 12); got != 12 {
+		t.Errorf("Burst at mean 0 = %d, want whole budget 12", got)
+	}
+}
+
+func TestGeometricScheduleRespectsRemaining(t *testing.T) {
+	s := GeometricSchedule{MeanRounds: 0}
+	if got := s.Burst(rng.New(1), 0, 3); got != 3 {
+		t.Errorf("Burst = %d, want 3", got)
+	}
+	if got := s.Burst(rng.New(1), 0, 0); got != 0 {
+		t.Errorf("Burst with empty budget = %d", got)
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	s := PeriodicSchedule{Every: 3}
+	r := rng.New(1)
+	var got []int
+	for round := 0; round < 7; round++ {
+		got = append(got, s.Burst(r, round, 10))
+	}
+	want := []int{1, 0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("periodic bursts = %v, want %v", got, want)
+		}
+	}
+	// Every < 1 clamps to every round.
+	every0 := PeriodicSchedule{}
+	if every0.Burst(r, 5, 10) != 1 {
+		t.Error("Every=0 should fire every round")
+	}
+	if s.Burst(r, 0, 0) != 0 {
+		t.Error("empty budget must yield 0")
+	}
+}
+
+func TestClusteredSchedule(t *testing.T) {
+	s := ClusteredSchedule{MeanRounds: 1, BurstSize: 4}
+	r := rng.New(9)
+	sawMultiple := false
+	for round := 0; round < 1000; round++ {
+		b := s.Burst(r, round, 100)
+		if b%4 != 0 {
+			t.Fatalf("burst %d not a multiple of cluster size", b)
+		}
+		if b >= 4 {
+			sawMultiple = true
+		}
+	}
+	if !sawMultiple {
+		t.Error("clustered schedule never fired")
+	}
+	// Remaining caps the cluster.
+	capped := ClusteredSchedule{MeanRounds: 0, BurstSize: 10}
+	if got := capped.Burst(rng.New(1), 0, 7); got != 7 {
+		t.Errorf("capped burst = %d, want 7", got)
+	}
+}
+
+func TestDriverWithAlternativeSchedules(t *testing.T) {
+	// The driver accepts any schedule and still injects the requested
+	// number of changes.
+	for name, s := range map[string]Schedule{
+		"periodic":  PeriodicSchedule{Every: 2},
+		"clustered": ClusteredSchedule{MeanRounds: 2, BurstSize: 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := NewDriver(testFactory(), Config{
+				Procs: 12, Changes: 9, Schedule: s, CheckSafety: true,
+			}, rng.New(5))
+			res, err := d.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ChangesInjected != 9 {
+				t.Errorf("injected %d, want 9", res.ChangesInjected)
+			}
+		})
+	}
+}

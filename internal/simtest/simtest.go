@@ -1,0 +1,95 @@
+// Package simtest provides a scripted-scenario harness over
+// sim.Cluster for algorithm tests: issue exact view sequences, drop
+// selected messages, run to quiescence, and assert on primacy and
+// retained state. It is test-support code, used by the algorithm
+// packages' tests and the integration tests.
+package simtest
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+)
+
+// Harness drives a cluster through scripted view sequences.
+type Harness struct {
+	TB      testing.TB
+	Cluster *sim.Cluster
+	Rng     *rng.Source
+	nextID  int64
+}
+
+// New builds a harness over n processes running the given algorithm.
+func New(tb testing.TB, factory core.Factory, n int) *Harness {
+	tb.Helper()
+	return &Harness{
+		TB:      tb,
+		Cluster: sim.NewCluster(factory, n),
+		Rng:     rng.New(1),
+		nextID:  1,
+	}
+}
+
+// Split issues one view per member list, then runs to quiescence and
+// checks the one-primary invariant.
+func (h *Harness) Split(memberLists ...[]proc.ID) {
+	h.TB.Helper()
+	h.SplitNoSettle(memberLists...)
+	h.Settle()
+}
+
+// SplitNoSettle issues views without running the protocol.
+func (h *Harness) SplitNoSettle(memberLists ...[]proc.ID) {
+	h.TB.Helper()
+	views := make([]view.View, len(memberLists))
+	for i, ids := range memberLists {
+		views[i] = view.View{ID: h.nextID, Members: proc.NewSet(ids...)}
+		h.nextID++
+	}
+	h.Cluster.Collect(h.Rng)
+	h.Cluster.IssueViews(h.Rng, views...)
+}
+
+// Settle runs the protocol to quiescence and checks the one-primary
+// invariant.
+func (h *Harness) Settle() {
+	h.TB.Helper()
+	if _, err := h.Cluster.RunToQuiescence(h.Rng, 1000); err != nil {
+		h.TB.Fatal(err)
+	}
+	if err := sim.CheckOnePrimary(h.Cluster); err != nil {
+		h.TB.Fatal(err)
+	}
+}
+
+// InPrimary reports process p's primacy.
+func (h *Harness) InPrimary(p proc.ID) bool { return h.Cluster.Algorithm(p).InPrimary() }
+
+// WantPrimary asserts process p's primacy.
+func (h *Harness) WantPrimary(p proc.ID, want bool) {
+	h.TB.Helper()
+	if got := h.InPrimary(p); got != want {
+		h.TB.Errorf("process %v: InPrimary = %v, want %v", p, got, want)
+	}
+}
+
+// Ambiguous returns process p's retained ambiguous-session count.
+func (h *Harness) Ambiguous(p proc.ID) int {
+	return h.Cluster.Algorithm(p).(core.AmbiguousReporter).AmbiguousSessionCount()
+}
+
+// DropTo drops messages matching pred that are addressed to any of the
+// given processes.
+func (h *Harness) DropTo(pred func(core.Message) bool, ids ...proc.ID) {
+	blocked := proc.NewSet(ids...)
+	h.Cluster.Drop = func(_, to proc.ID, m core.Message) bool {
+		return blocked.Contains(to) && pred(m)
+	}
+}
+
+// ClearDrop removes any drop filter.
+func (h *Harness) ClearDrop() { h.Cluster.Drop = nil }

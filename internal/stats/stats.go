@@ -1,0 +1,168 @@
+// Package stats aggregates per-run simulation results into the
+// quantities the thesis reports: availability percentages (Figures 4-1
+// through 4-6), ambiguous-session histograms (Figures 4-7 and 4-8) and
+// message-size maxima (§3.4). It replaces the Perl tabulation scripts
+// of the original study.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Availability counts how many runs of a case ended with a primary
+// component formed.
+type Availability struct {
+	Formed int
+	Runs   int
+}
+
+// Record adds one run's outcome.
+func (a *Availability) Record(formed bool) {
+	a.Runs++
+	if formed {
+		a.Formed++
+	}
+}
+
+// Percent returns the availability percentage, the y-axis of Figures
+// 4-1 through 4-6. It reports 0 for an empty cell.
+func (a Availability) Percent() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(a.Formed) / float64(a.Runs)
+}
+
+// String renders e.g. "87.3% (873/1000)".
+func (a Availability) String() string {
+	return fmt.Sprintf("%.1f%% (%d/%d)", a.Percent(), a.Formed, a.Runs)
+}
+
+// WilsonInterval returns the 95% Wilson score confidence interval for
+// the availability percentage — the honest error bars for a
+// 500-or-1000-run case, well-behaved even at 0% and 100%.
+func (a Availability) WilsonInterval() (lo, hi float64) {
+	if a.Runs == 0 {
+		return 0, 0
+	}
+	const z = 1.959964 // 97.5th normal percentile
+	n := float64(a.Runs)
+	p := float64(a.Formed) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return 100 * lo, 100 * hi
+}
+
+// Histogram tallies ambiguous-session counts across samples. Buckets
+// are exact counts; callers that want the thesis's "4+" bucket combine
+// tails with PercentAtLeast.
+type Histogram struct {
+	counts []int
+	total  int
+	max    int
+}
+
+// Add records one sample with the given session count.
+func (h *Histogram) Add(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(h.counts) <= n {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[n]++
+	h.total++
+	if n > h.max {
+		h.max = n
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for n, c := range o.counts {
+		for len(h.counts) <= n {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[n] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Max returns the largest count observed — the thesis's headline
+// "never exceeded 4 (YKD) / 9 (DFLS)" statistic.
+func (h *Histogram) Max() int { return h.max }
+
+// Count returns how many samples had exactly n sessions.
+func (h *Histogram) Count(n int) int {
+	if n < 0 || n >= len(h.counts) {
+		return 0
+	}
+	return h.counts[n]
+}
+
+// Percent returns the percentage of samples with exactly n sessions.
+func (h *Histogram) Percent(n int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Count(n)) / float64(h.total)
+}
+
+// PercentAtLeast returns the percentage of samples with ≥ n sessions —
+// the bar heights of Figures 4-7 and 4-8 use PercentAtLeast(1), and
+// the "4+" block is PercentAtLeast(4).
+func (h *Histogram) PercentAtLeast(n int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	c := 0
+	for i := n; i < len(h.counts); i++ {
+		if i >= 0 {
+			c += h.counts[i]
+		}
+	}
+	return 100 * float64(c) / float64(h.total)
+}
+
+// Mean returns the average session count across samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for n, c := range h.counts {
+		sum += n * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// MaxTracker keeps running maxima of message-size observations.
+type MaxTracker struct {
+	MaxMessageBytes int
+	MaxRoundBytes   int
+}
+
+// Record folds one run's maxima in.
+func (m *MaxTracker) Record(msgBytes, roundBytes int) {
+	if msgBytes > m.MaxMessageBytes {
+		m.MaxMessageBytes = msgBytes
+	}
+	if roundBytes > m.MaxRoundBytes {
+		m.MaxRoundBytes = roundBytes
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAvailability(t *testing.T) {
+	var a Availability
+	if !approx(a.Percent(), 0) {
+		t.Error("empty availability should be 0")
+	}
+	for i := 0; i < 7; i++ {
+		a.Record(true)
+	}
+	for i := 0; i < 3; i++ {
+		a.Record(false)
+	}
+	if !approx(a.Percent(), 70) {
+		t.Errorf("Percent = %v, want 70", a.Percent())
+	}
+	if got := a.String(); got != "70.0% (7/10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, n := range []int{0, 0, 0, 1, 1, 2, 4} {
+		h.Add(n)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Max() != 4 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if h.Count(0) != 3 || h.Count(1) != 2 || h.Count(3) != 0 || h.Count(4) != 1 {
+		t.Error("Count wrong")
+	}
+	if h.Count(-1) != 0 || h.Count(99) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+	if !approx(h.Percent(1), 100*2.0/7) {
+		t.Errorf("Percent(1) = %v", h.Percent(1))
+	}
+	if !approx(h.PercentAtLeast(1), 100*4.0/7) {
+		t.Errorf("PercentAtLeast(1) = %v", h.PercentAtLeast(1))
+	}
+	if !approx(h.PercentAtLeast(4), 100*1.0/7) {
+		t.Errorf("PercentAtLeast(4) = %v", h.PercentAtLeast(4))
+	}
+	if !approx(h.Mean(), (0*3+1*2+2+4)/7.0) {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percent(0) != 0 || h.PercentAtLeast(0) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Count(0) != 1 {
+		t.Error("negative samples clamp to 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(0)
+	a.Add(2)
+	b.Add(2)
+	b.Add(5)
+	a.Merge(&b)
+	if a.Total() != 4 || a.Count(2) != 2 || a.Count(5) != 1 || a.Max() != 5 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+}
+
+func TestMaxTracker(t *testing.T) {
+	var m MaxTracker
+	m.Record(10, 100)
+	m.Record(5, 200)
+	m.Record(20, 50)
+	if m.MaxMessageBytes != 20 || m.MaxRoundBytes != 200 {
+		t.Errorf("tracker = %+v", m)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	var empty Availability
+	if lo, hi := empty.WilsonInterval(); lo != 0 || hi != 0 {
+		t.Errorf("empty interval = [%v, %v]", lo, hi)
+	}
+
+	a := Availability{Formed: 500, Runs: 1000}
+	lo, hi := a.WilsonInterval()
+	if lo >= 50 || hi <= 50 {
+		t.Errorf("interval [%v, %v] should bracket 50%%", lo, hi)
+	}
+	if hi-lo > 7 || hi-lo < 5 {
+		t.Errorf("95%% interval width at n=1000, p=0.5 should be ≈6.2 points, got %v", hi-lo)
+	}
+
+	// Degenerate proportions stay in [0, 100].
+	full := Availability{Formed: 20, Runs: 20}
+	lo, hi = full.WilsonInterval()
+	if hi != 100 || lo < 80 || lo > 100 {
+		t.Errorf("all-success interval = [%v, %v]", lo, hi)
+	}
+	none := Availability{Formed: 0, Runs: 20}
+	lo, hi = none.WilsonInterval()
+	if lo != 0 || hi <= 0 || hi > 20 {
+		t.Errorf("all-failure interval = [%v, %v]", lo, hi)
+	}
+
+	// More runs, tighter interval.
+	small := Availability{Formed: 50, Runs: 100}
+	big := Availability{Formed: 500, Runs: 1000}
+	slo, shi := small.WilsonInterval()
+	blo, bhi := big.WilsonInterval()
+	if shi-slo <= bhi-blo {
+		t.Error("interval should shrink with more runs")
+	}
+}

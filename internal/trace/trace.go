@@ -1,0 +1,139 @@
+// Package trace records structured simulation events for debugging
+// and for the demo binaries: view installations, message deliveries
+// and drops, primary formations. A Recorder is a bounded ring buffer —
+// cheap enough to leave attached during long soaks, with the most
+// recent history available when an invariant trips.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindView: a process installed a view.
+	KindView Kind = iota + 1
+	// KindDeliver: a message was delivered.
+	KindDeliver
+	// KindDrop: a delivery was dropped (view-synchronous or filtered).
+	KindDrop
+	// KindChange: a connectivity change was injected.
+	KindChange
+	// KindNote: free-form annotation.
+	KindNote
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindView:
+		return "view"
+	case KindDeliver:
+		return "deliver"
+	case KindDrop:
+		return "drop"
+	case KindChange:
+		return "change"
+	case KindNote:
+		return "note"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq     uint64
+	Kind    Kind
+	Process proc.ID
+	From    proc.ID
+	View    view.View
+	Detail  string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindView:
+		return fmt.Sprintf("#%d %s %v installs %v", e.Seq, e.Kind, e.Process, e.View)
+	case KindDeliver, KindDrop:
+		return fmt.Sprintf("#%d %s %v→%v %s", e.Seq, e.Kind, e.From, e.Process, e.Detail)
+	default:
+		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.Detail)
+	}
+}
+
+// Recorder is a bounded event log. The zero value is unusable; use
+// NewRecorder. Safe for concurrent use.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64
+	cap  int
+}
+
+// NewRecorder keeps the most recent capacity events (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Record appends an event, evicting the oldest beyond capacity.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.next
+	r.next++
+	if len(r.buf) == r.cap {
+		copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:len(r.buf)-1]
+	}
+	r.buf = append(r.buf, e)
+}
+
+// Notef records a formatted free-form annotation.
+func (r *Recorder) Notef(format string, args ...any) {
+	r.Record(Event{Kind: KindNote, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of the retained history, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dump renders the retained history, one event per line.
+func (r *Recorder) Dump() string {
+	evs := r.Events()
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/trace"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := trace.NewRecorder(32)
+	r.Notef("hello %d", 7)
+	r.Record(trace.Event{Kind: trace.KindDeliver, Process: 1, From: 0, Detail: "m"})
+	if r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("Len=%d Total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	if evs[0].Kind != trace.KindNote || evs[0].Detail != "hello 7" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("sequence numbers wrong: %v %v", evs[0].Seq, evs[1].Seq)
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "hello 7") || !strings.Contains(dump, "deliver") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	r := trace.NewRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Notef("n%d", i)
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+	if r.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", r.Total())
+	}
+	evs := r.Events()
+	if evs[0].Detail != "n24" || evs[15].Detail != "n39" {
+		t.Errorf("eviction kept wrong window: %s .. %s", evs[0].Detail, evs[15].Detail)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	r := trace.NewRecorder(1)
+	for i := 0; i < 20; i++ {
+		r.Notef("x")
+	}
+	if r.Len() != 16 {
+		t.Errorf("minimum capacity not applied: %d", r.Len())
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	v := view.View{ID: 2, Members: proc.NewSet(0, 1)}
+	cases := []struct {
+		e    trace.Event
+		want string
+	}{
+		{trace.Event{Kind: trace.KindView, Process: 1, View: v}, "installs"},
+		{trace.Event{Kind: trace.KindDrop, Process: 1, From: 0, Detail: "m"}, "drop"},
+		{trace.Event{Kind: trace.KindChange, Detail: "partition"}, "change"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+// TestClusterTracing exercises the sim integration: views, deliveries
+// and view-synchronous drops all show up in the trace.
+func TestClusterTracing(t *testing.T) {
+	c := sim.NewCluster(ykd.Factory(ykd.VariantYKD), 3)
+	rec := trace.NewRecorder(4096)
+	c.Trace = rec
+	r := rng.New(2)
+
+	c.IssueViews(r, view.View{ID: 1, Members: proc.NewSet(0, 1, 2)})
+	c.Collect(r)
+	// Split before delivering: everything in flight must be dropped.
+	c.IssueViews(r, view.View{ID: 2, Members: proc.NewSet(0, 1)},
+		view.View{ID: 3, Members: proc.NewSet(2)})
+	c.DeliverAll(r)
+	if _, err := c.RunToQuiescence(r, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	var views, delivers, drops int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindView:
+			views++
+		case trace.KindDeliver:
+			delivers++
+		case trace.KindDrop:
+			drops++
+		}
+	}
+	if views < 6 { // 3 installs of view 1 + 3 installs of views 2/3
+		t.Errorf("views traced = %d, want ≥ 6", views)
+	}
+	if drops == 0 {
+		t.Error("expected view-synchronous drops in the trace")
+	}
+	if delivers == 0 {
+		t.Error("expected deliveries in the trace")
+	}
+}

@@ -1,0 +1,83 @@
+// Package view defines the two structures every dynamic voting
+// algorithm in this repository is built on:
+//
+//   - View: a membership report from the group communication service —
+//     "a list of all of the processes which are currently connected"
+//     (thesis §2.1), plus an identifier so stale messages can be
+//     discarded.
+//   - Session: "nothing more than a view with a number attached to it,
+//     corresponding to a session to form a primary component" (thesis
+//     §3.1). Session numbers order attempts to form primaries.
+package view
+
+import (
+	"fmt"
+
+	"dynvote/internal/proc"
+)
+
+// View is a connectivity report: the set of mutually connected
+// processes, tagged with a unique identifier assigned by the
+// membership service (the simulator or the live gcs substrate).
+//
+// IDs are globally unique and monotonically increasing at each issuer;
+// algorithms only ever compare them for equality, to recognise which
+// view a message belongs to.
+type View struct {
+	// ID uniquely identifies this view.
+	ID int64
+	// Members is the set of currently connected processes.
+	Members proc.Set
+}
+
+// Contains reports whether p is a member of the view.
+func (v View) Contains(p proc.ID) bool { return v.Members.Contains(p) }
+
+// Size returns the number of members.
+func (v View) Size() int { return v.Members.Count() }
+
+// String renders the view for logs, e.g. "V3{p0,p1}".
+func (v View) String() string { return fmt.Sprintf("V%d%s", v.ID, v.Members) }
+
+// Session is an attempt — successful or not — to form a primary
+// component: a member set plus the session number the attempt was made
+// under.
+//
+// Two sessions are the same attempt iff both the number and the member
+// set match: disconnected components can hand out equal numbers to
+// different attempts, so the number alone does not identify a session
+// (though for any single process, the sessions it participates in have
+// strictly increasing numbers).
+type Session struct {
+	// Number orders this session relative to other attempts.
+	Number int64
+	// Members is the membership of the view the attempt was made in.
+	Members proc.Set
+}
+
+// NewSession builds a session for an attempt in view v under number n.
+func NewSession(n int64, v View) Session {
+	return Session{Number: n, Members: v.Members}
+}
+
+// Equal reports whether s and t denote the same attempt.
+func (s Session) Equal(t Session) bool {
+	return s.Number == t.Number && s.Members.Equal(t.Members)
+}
+
+// Contains reports whether p participated in the session's view.
+func (s Session) Contains(p proc.ID) bool { return s.Members.Contains(p) }
+
+// Key returns a comparable digest of the session, usable as a map key.
+func (s Session) Key() SessionKey {
+	return SessionKey{Number: s.Number, Members: s.Members.Key()}
+}
+
+// SessionKey is a comparable identity for a Session; see Session.Key.
+type SessionKey struct {
+	Number  int64
+	Members proc.Key
+}
+
+// String renders the session for logs, e.g. "S4{p0,p1}".
+func (s Session) String() string { return fmt.Sprintf("S%d%s", s.Number, s.Members) }

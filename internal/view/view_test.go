@@ -1,0 +1,67 @@
+package view
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+)
+
+func TestViewBasics(t *testing.T) {
+	v := View{ID: 3, Members: proc.NewSet(0, 1, 4)}
+	if !v.Contains(4) || v.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if v.Size() != 3 {
+		t.Errorf("Size = %d, want 3", v.Size())
+	}
+	if got := v.String(); got != "V3{p0,p1,p4}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSessionEqual(t *testing.T) {
+	a := Session{Number: 2, Members: proc.NewSet(0, 1)}
+	b := Session{Number: 2, Members: proc.NewSet(0, 1)}
+	c := Session{Number: 2, Members: proc.NewSet(0, 2)} // same number, different members
+	d := Session{Number: 3, Members: proc.NewSet(0, 1)} // same members, different number
+
+	if !a.Equal(b) {
+		t.Error("a != b")
+	}
+	if a.Equal(c) {
+		t.Error("a == c despite different members")
+	}
+	if a.Equal(d) {
+		t.Error("a == d despite different numbers")
+	}
+}
+
+func TestSessionKey(t *testing.T) {
+	a := Session{Number: 2, Members: proc.NewSet(0, 1)}
+	b := Session{Number: 2, Members: proc.NewSet(0, 1)}
+	c := Session{Number: 2, Members: proc.NewSet(0, 2)}
+	if a.Key() != b.Key() {
+		t.Error("equal sessions, different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different sessions, same key")
+	}
+	m := map[SessionKey]bool{a.Key(): true}
+	if !m[b.Key()] {
+		t.Error("key not usable as map key")
+	}
+}
+
+func TestNewSession(t *testing.T) {
+	v := View{ID: 9, Members: proc.NewSet(3, 7)}
+	s := NewSession(5, v)
+	if s.Number != 5 || !s.Members.Equal(v.Members) {
+		t.Errorf("NewSession = %v", s)
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if got := s.String(); got != "S5{p3,p7}" {
+		t.Errorf("String = %q", got)
+	}
+}

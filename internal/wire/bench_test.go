@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func BenchmarkEncodeSession64(b *testing.B) {
+	s := view.Session{Number: 1000, Members: proc.Universe(64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		w.Session(s)
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkDecodeSession64(b *testing.B) {
+	var w Writer
+	w.Session(view.Session{Number: 1000, Members: proc.Universe(64)})
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		_ = r.Session()
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}
+
+func BenchmarkUvarintRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		w.Uvarint(uint64(i))
+		r := NewReader(w.Bytes())
+		if r.Uvarint() != uint64(i) {
+			b.Fatal("mismatch")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package wire
+
+import "testing"
+
+// FuzzReader drives every Reader method over arbitrary input: no
+// sequence of reads may panic, and the sticky error must keep
+// subsequent reads harmless.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(3))
+	var w Writer
+	w.Uvarint(300)
+	w.Varint(-5)
+	f.Add(w.Bytes(), byte(2))
+	f.Fuzz(func(t *testing.T, data []byte, ops byte) {
+		r := NewReader(data)
+		for i := 0; i < 16; i++ {
+			switch (int(ops) + i) % 6 {
+			case 0:
+				r.Byte()
+			case 1:
+				r.Bool()
+			case 2:
+				r.Uvarint()
+			case 3:
+				r.Varint()
+			case 4:
+				r.Set()
+			case 5:
+				r.Session()
+			}
+		}
+		_ = r.RawBytes()
+		_ = r.Err()
+		_ = r.Remaining()
+	})
+}

@@ -1,0 +1,202 @@
+// Package wire is the compact binary codec shared by every algorithm's
+// message encoding.
+//
+// The thesis measures message sizes (§3.4: an ambiguous session is
+// roughly 2n bits; total exchanged information stays under two
+// kilobytes with 64 processes), so the representation matters: process
+// sets are encoded as raw bitset words, so a 64-process session costs
+// 1 varint (number) + 1 length byte + 8 bytes of membership — within a
+// small constant of the thesis's 2n-bit figure.
+//
+// Writer accumulates; Reader decodes with sticky error handling so
+// call sites stay linear and a single Err check suffices.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// ErrTruncated is reported when a Reader runs out of input.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrMalformed is reported for structurally invalid input, such as an
+// unreasonable length prefix.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// maxSetWords bounds decoded set sizes (64 × 64 = 4096 process IDs),
+// guarding against corrupt length prefixes.
+const maxSetWords = 64
+
+// Writer builds an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(u uint64) {
+	w.buf = binary.AppendUvarint(w.buf, u)
+}
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(i int64) {
+	w.buf = binary.AppendVarint(w.buf, i)
+}
+
+// Set appends a process set as a word count followed by raw 64-bit
+// words.
+func (w *Writer) Set(s proc.Set) {
+	words := s.Words()
+	w.Uvarint(uint64(len(words)))
+	for _, word := range words {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, word)
+	}
+}
+
+// Session appends a session as its number followed by its member set.
+func (w *Writer) Session(s view.Session) {
+	w.Varint(s.Number)
+	w.Set(s.Members)
+}
+
+// RawBytes appends a length-prefixed byte string.
+func (w *Writer) RawBytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Bytes returns the encoded message. The returned slice aliases the
+// writer's buffer; the writer must not be reused after Bytes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reader decodes a message produced by Writer. Errors are sticky: once
+// a decode fails, all further reads return zero values and Err reports
+// the first failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads one boolean byte.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Set reads a process set.
+func (r *Reader) Set() proc.Set {
+	n := r.Uvarint()
+	if r.err != nil {
+		return proc.Set{}
+	}
+	if n > maxSetWords {
+		r.fail(ErrMalformed)
+		return proc.Set{}
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		if r.off+8 > len(r.buf) {
+			r.fail(ErrTruncated)
+			return proc.Set{}
+		}
+		words[i] = binary.LittleEndian.Uint64(r.buf[r.off:])
+		r.off += 8
+	}
+	return proc.SetFromWords(words)
+}
+
+// Session reads a session.
+func (r *Reader) Session() view.Session {
+	n := r.Varint()
+	return view.Session{Number: n, Members: r.Set()}
+}
+
+// RawBytes reads a length-prefixed byte string, copying it out of the
+// reader's buffer.
+func (r *Reader) RawBytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}

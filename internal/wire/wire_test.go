@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	var w Writer
+	w.Byte(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Varint(-12345)
+	w.Varint(98765)
+	w.RawBytes([]byte("hello"))
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Varint(); got != 98765 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := string(r.RawBytes()); got != "hello" {
+		t.Errorf("RawBytes = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	sets := []proc.Set{
+		{},
+		proc.NewSet(0),
+		proc.NewSet(63),
+		proc.NewSet(64),
+		proc.NewSet(0, 5, 63, 64, 127, 128),
+		proc.Universe(64),
+	}
+	for _, s := range sets {
+		var w Writer
+		w.Set(s)
+		got := NewReader(w.Bytes()).Set()
+		if !got.Equal(s) {
+			t.Errorf("Set round trip: got %v, want %v", got, s)
+		}
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	s := view.Session{Number: 42, Members: proc.NewSet(1, 2, 60)}
+	var w Writer
+	w.Session(s)
+	got := NewReader(w.Bytes()).Session()
+	if !got.Equal(s) {
+		t.Errorf("Session round trip: got %v, want %v", got, s)
+	}
+}
+
+func TestSessionSizeMatchesThesisClaim(t *testing.T) {
+	// Thesis §3.4: an ambiguous session is roughly 2n bits. For n=64
+	// that is 16 bytes; our encoding must be in that ballpark.
+	s := view.Session{Number: 1000, Members: proc.Universe(64)}
+	var w Writer
+	w.Session(s)
+	if got := w.Len(); got > 16 {
+		t.Errorf("64-process session costs %d bytes, want ≤ 16", got)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var w Writer
+	w.Uvarint(300)
+	w.Set(proc.Universe(64))
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uvarint()
+		r.Set()
+		if cut < len(full) && r.Err() == nil {
+			// A prefix that still decodes fully is only OK if it is
+			// the whole message.
+			t.Errorf("cut=%d decoded without error", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Byte()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Further reads return zero values without panicking.
+	if r.Uvarint() != 0 || !r.Set().Empty() || r.RawBytes() != nil {
+		t.Error("reads after error returned non-zero values")
+	}
+}
+
+func TestMalformedSetLength(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 20) // absurd word count
+	r := NewReader(w.Bytes())
+	_ = r.Set()
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("Err = %v, want ErrMalformed", r.Err())
+	}
+}
+
+func TestRawBytesTruncated(t *testing.T) {
+	var w Writer
+	w.Uvarint(100) // claims 100 bytes, provides none
+	r := NewReader(w.Bytes())
+	_ = r.RawBytes()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", r.Err())
+	}
+}
+
+// Property: any sequence of writes decodes to the same values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		type op struct {
+			kind int
+			i    int64
+			u    uint64
+			s    proc.Set
+		}
+		ops := make([]op, n)
+		var w Writer
+		for i := range ops {
+			o := op{kind: r.Intn(3)}
+			switch o.kind {
+			case 0:
+				o.u = uint64(r.Int63())
+				w.Uvarint(o.u)
+			case 1:
+				o.i = r.Int63() - (1 << 62)
+				w.Varint(o.i)
+			case 2:
+				var s proc.Set
+				for j := 0; j < 70; j++ {
+					if r.Intn(3) == 0 {
+						s = s.With(proc.ID(j))
+					}
+				}
+				o.s = s
+				w.Set(s)
+			}
+			ops[i] = o
+		}
+		rd := NewReader(w.Bytes())
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				if rd.Uvarint() != o.u {
+					return false
+				}
+			case 1:
+				if rd.Varint() != o.i {
+					return false
+				}
+			case 2:
+				if !rd.Set().Equal(o.s) {
+					return false
+				}
+			}
+		}
+		return rd.Err() == nil && rd.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

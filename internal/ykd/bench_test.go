@@ -1,0 +1,67 @@
+package ykd
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// benchExchange drives one full two-round exchange over n processes
+// directly (no simulator), isolating the algorithm's own cost.
+func benchExchange(b *testing.B, n int) {
+	initial := view.View{ID: 0, Members: proc.Universe(n)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		algs := make([]*Algorithm, n)
+		for p := range algs {
+			algs[p] = New(VariantYKD, proc.ID(p), initial)
+		}
+		v := view.View{ID: 1, Members: proc.Universe(n)}
+		for _, a := range algs {
+			a.ViewChange(v)
+		}
+		// Round 1: state messages.
+		for p, a := range algs {
+			for _, m := range a.Poll() {
+				for q, other := range algs {
+					if q != p {
+						other.Deliver(proc.ID(p), m)
+					}
+				}
+			}
+		}
+		// Round 2: attempts.
+		for p, a := range algs {
+			for _, m := range a.Poll() {
+				for q, other := range algs {
+					if q != p {
+						other.Deliver(proc.ID(p), m)
+					}
+				}
+			}
+		}
+		if !algs[0].InPrimary() {
+			b.Fatal("exchange did not form")
+		}
+	}
+}
+
+func BenchmarkExchange8(b *testing.B)  { benchExchange(b, 8) }
+func BenchmarkExchange64(b *testing.B) { benchExchange(b, 64) }
+
+func BenchmarkStateMessageEncode(b *testing.B) {
+	a := New(VariantYKD, 0, view.View{ID: 0, Members: proc.Universe(64)})
+	a.ViewChange(view.View{ID: 1, Members: proc.Universe(64)})
+	msgs := a.Poll()
+	if len(msgs) == 0 {
+		b.Fatal("no state message")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Codec{}).Encode(msgs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ykd
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+func roundTrip(t *testing.T, m core.Message) core.Message {
+	t.Helper()
+	b, err := Codec{}.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Codec{}.Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestStateMessageRoundTrip(t *testing.T) {
+	s1 := view.Session{Number: 3, Members: proc.NewSet(0, 1, 2)}
+	s2 := view.Session{Number: 5, Members: proc.NewSet(0, 1)}
+	m := &StateMessage{
+		ViewID:        7,
+		SessionNumber: 5,
+		LastPrimary:   s2,
+		Formed: []FormedEntry{
+			{Session: s2, Who: proc.NewSet(0, 1)},
+			{Session: s1, Who: proc.NewSet(2)},
+		},
+		Ambiguous: []view.Session{s1},
+	}
+	got, ok := roundTrip(t, m).(*StateMessage)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if got.ViewID != 7 || got.SessionNumber != 5 || !got.LastPrimary.Equal(s2) {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Formed) != 2 || !got.Formed[1].Session.Equal(s1) || !got.Formed[1].Who.Equal(proc.NewSet(2)) {
+		t.Errorf("formed mismatch: %+v", got.Formed)
+	}
+	if len(got.Ambiguous) != 1 || !got.Ambiguous[0].Equal(s1) {
+		t.Errorf("ambiguous mismatch: %+v", got.Ambiguous)
+	}
+}
+
+func TestStateMessageEmptyLists(t *testing.T) {
+	m := &StateMessage{ViewID: 1, LastPrimary: view.Session{Members: proc.NewSet(0)}}
+	got := roundTrip(t, m).(*StateMessage)
+	if len(got.Formed) != 0 || len(got.Ambiguous) != 0 {
+		t.Errorf("lists should round-trip empty: %+v", got)
+	}
+}
+
+func TestAttemptFlushRoundTrip(t *testing.T) {
+	s := view.Session{Number: 9, Members: proc.NewSet(3, 4)}
+	a := roundTrip(t, &AttemptMessage{ViewID: 2, Session: s}).(*AttemptMessage)
+	if a.ViewID != 2 || !a.Session.Equal(s) {
+		t.Errorf("attempt mismatch: %+v", a)
+	}
+	f := roundTrip(t, &FlushMessage{ViewID: 3, Session: s}).(*FlushMessage)
+	if f.ViewID != 3 || !f.Session.Equal(s) {
+		t.Errorf("flush mismatch: %+v", f)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                // unknown tag
+		{tagState},          // truncated
+		{tagAttempt, 1},     // truncated session
+		{tagState, 0, 0, 0}, // truncated body
+	}
+	for i, b := range cases {
+		if _, err := (Codec{}).Decode(b); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Codec{}.Encode(&AttemptMessage{ViewID: 1, Session: view.Session{Members: proc.NewSet(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Codec{}).Decode(append(b, 0xFF)); err == nil {
+		t.Error("Decode accepted trailing bytes")
+	}
+}
+
+func TestDecodeRejectsAbsurdLengths(t *testing.T) {
+	// A state message claiming 2^30 formed entries must be rejected
+	// before allocation.
+	b, err := Codec{}.Encode(&StateMessage{ViewID: 1, LastPrimary: view.Session{Members: proc.NewSet(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoding ends with [formedLen=0][ambiguousLen=0]; patch the
+	// formed length to a huge varint by rebuilding manually is
+	// fragile, so simply check the guard with a crafted prefix:
+	// tag + viewID(1) + sessionNumber(0) + session(num 0, empty set)
+	// + formed count huge.
+	crafted := []byte{tagState, 2, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := (Codec{}).Decode(crafted); err == nil {
+		t.Error("Decode accepted absurd list length")
+	}
+	_ = b
+}
+
+func TestStateMessageSizeWithinThesisBound(t *testing.T) {
+	// §3.4: total state exchanged by a 64-process system stays within
+	// ~2KB; a single state message with a realistic number of sessions
+	// must therefore stay small.
+	u := proc.Universe(64)
+	m := &StateMessage{
+		ViewID:        100,
+		SessionNumber: 40,
+		LastPrimary:   view.Session{Number: 40, Members: u},
+		Formed: []FormedEntry{
+			{Session: view.Session{Number: 40, Members: u}, Who: u},
+		},
+		Ambiguous: []view.Session{
+			{Number: 41, Members: proc.NewSet(0, 1, 2)},
+			{Number: 42, Members: proc.NewSet(0, 1)},
+		},
+	}
+	b, err := Codec{}.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > 128 {
+		t.Errorf("state message is %d bytes; want well under 128", len(b))
+	}
+}
+
+func TestFormedFor(t *testing.T) {
+	s1 := view.Session{Number: 3, Members: proc.NewSet(0, 1, 2)}
+	m := &StateMessage{Formed: []FormedEntry{{Session: s1, Who: proc.NewSet(0, 2)}}}
+	if f, ok := m.FormedFor(2); !ok || !f.Equal(s1) {
+		t.Errorf("FormedFor(2) = %v, %v", f, ok)
+	}
+	if _, ok := m.FormedFor(1); ok {
+		t.Error("FormedFor(1) should be unknown")
+	}
+}
+
+func TestMessageKinds(t *testing.T) {
+	kinds := map[string]core.Message{
+		"ykd/state":   &StateMessage{},
+		"ykd/attempt": &AttemptMessage{},
+		"ykd/flush":   &FlushMessage{},
+	}
+	for want, m := range kinds {
+		if got := m.Kind(); got != want {
+			t.Errorf("Kind = %q, want %q", got, want)
+		}
+	}
+}

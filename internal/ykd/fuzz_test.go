@@ -1,0 +1,73 @@
+package ykd
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// FuzzDecode hardens the codec against hostile input: Decode must
+// never panic, and anything it accepts must re-encode and re-decode to
+// an equivalent message.
+func FuzzDecode(f *testing.F) {
+	// Seed with real encodings of each message type.
+	s := view.Session{Number: 7, Members: proc.NewSet(0, 3, 63)}
+	seeds := []core.Message{
+		&StateMessage{ViewID: 1, SessionNumber: 2, LastPrimary: s,
+			Formed:    []FormedEntry{{Session: s, Who: proc.NewSet(0, 3)}},
+			Ambiguous: []view.Session{s}},
+		&AttemptMessage{ViewID: 3, Session: s},
+		&FlushMessage{ViewID: 4, Session: s},
+	}
+	for _, seed := range seeds {
+		if b, err := (Codec{}).Encode(seed); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagState, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Codec{}.Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Codec{}.Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		m2, err := Codec{}.Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if m.Kind() != m2.Kind() {
+			t.Fatalf("round trip changed kind: %q vs %q", m.Kind(), m2.Kind())
+		}
+	})
+}
+
+// FuzzRestore hardens the snapshot path similarly.
+func FuzzRestore(f *testing.F) {
+	a := New(VariantYKD, 0, view.View{ID: 0, Members: proc.Universe(8)})
+	if snap, err := a.Snapshot(); err == nil {
+		f.Add(snap)
+	}
+	f.Add([]byte{snapshotVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New(VariantYKD, 0, view.View{ID: 0, Members: proc.Universe(8)})
+		if err := b.Restore(data); err != nil {
+			return
+		}
+		// Accepted snapshots must round-trip.
+		again, err := b.Snapshot()
+		if err != nil {
+			t.Fatalf("restored state does not snapshot: %v", err)
+		}
+		c := New(VariantYKD, 0, view.View{ID: 0, Members: proc.Universe(8)})
+		if err := c.Restore(again); err != nil {
+			t.Fatalf("snapshot of restored state does not restore: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package ykd
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/wire"
+)
+
+// StateMessage is the round-one broadcast: the sender's full durable
+// state, from which every member deterministically computes the same
+// decision (thesis §3.1: "each process receives the information of all
+// of the other processes").
+type StateMessage struct {
+	// ViewID tags the view the state was sent in.
+	ViewID int64
+	// SessionNumber is the sender's session counter.
+	SessionNumber int64
+	// LastPrimary is the last primary the sender formed or accepted.
+	LastPrimary view.Session
+	// Formed is the sender's lastFormed table grouped by session:
+	// entry (S, Who) means lastFormed(q) = S for every q in Who.
+	Formed []FormedEntry
+	// Ambiguous lists the sender's pending ambiguous sessions.
+	Ambiguous []view.Session
+}
+
+// FormedEntry groups a run of the lastFormed table that shares one
+// session, keeping the common case (everyone maps to one or two
+// sessions) compact on the wire.
+type FormedEntry struct {
+	Session view.Session
+	Who     proc.Set
+}
+
+// FormedFor returns the sender's lastFormed(q): the last primary the
+// sender formed that included q. The second result is false if q is
+// unknown to the sender.
+func (m *StateMessage) FormedFor(q proc.ID) (view.Session, bool) {
+	for _, fe := range m.Formed {
+		if fe.Who.Contains(q) {
+			return fe.Session, true
+		}
+	}
+	return view.Session{}, false
+}
+
+// Kind implements core.Message.
+func (m *StateMessage) Kind() string { return "ykd/state" }
+
+// AttemptMessage is the round-two broadcast: the sender agrees to form
+// Session as the new primary component. A process that collects
+// attempts from every view member has formed it.
+type AttemptMessage struct {
+	ViewID  int64
+	Session view.Session
+}
+
+// Kind implements core.Message.
+func (m *AttemptMessage) Kind() string { return "ykd/attempt" }
+
+// FlushMessage is DFLS's third round: sent in a newly formed primary;
+// once received from every member, retained ambiguous sessions are
+// deleted (thesis §3.2.2).
+type FlushMessage struct {
+	ViewID  int64
+	Session view.Session
+}
+
+// Kind implements core.Message.
+func (m *FlushMessage) Kind() string { return "ykd/flush" }
+
+const (
+	tagState byte = iota + 1
+	tagAttempt
+	tagFlush
+)
+
+// maxListLen bounds decoded list lengths, guarding against corrupt
+// length prefixes (4096 processes is far beyond any configuration).
+const maxListLen = 4096
+
+// Codec encodes and decodes YKD-family messages. It is stateless.
+type Codec struct{}
+
+var _ core.Codec = Codec{}
+
+// Encode implements core.Codec.
+func (Codec) Encode(m core.Message) ([]byte, error) {
+	var w wire.Writer
+	switch msg := m.(type) {
+	case *StateMessage:
+		w.Byte(tagState)
+		w.Varint(msg.ViewID)
+		w.Varint(msg.SessionNumber)
+		w.Session(msg.LastPrimary)
+		w.Uvarint(uint64(len(msg.Formed)))
+		for _, fe := range msg.Formed {
+			w.Session(fe.Session)
+			w.Set(fe.Who)
+		}
+		w.Uvarint(uint64(len(msg.Ambiguous)))
+		for _, s := range msg.Ambiguous {
+			w.Session(s)
+		}
+	case *AttemptMessage:
+		w.Byte(tagAttempt)
+		w.Varint(msg.ViewID)
+		w.Session(msg.Session)
+	case *FlushMessage:
+		w.Byte(tagFlush)
+		w.Varint(msg.ViewID)
+		w.Session(msg.Session)
+	default:
+		return nil, fmt.Errorf("ykd: cannot encode %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// Decode implements core.Codec.
+func (Codec) Decode(b []byte) (core.Message, error) {
+	r := wire.NewReader(b)
+	tag := r.Byte()
+	var m core.Message
+	switch tag {
+	case tagState:
+		msg := &StateMessage{
+			ViewID:        r.Varint(),
+			SessionNumber: r.Varint(),
+			LastPrimary:   r.Session(),
+		}
+		nf := r.Uvarint()
+		if nf > maxListLen {
+			return nil, fmt.Errorf("ykd: decode: formed list length %d too large", nf)
+		}
+		if r.Err() == nil && nf > 0 {
+			msg.Formed = make([]FormedEntry, 0, nf)
+			for i := uint64(0); i < nf && r.Err() == nil; i++ {
+				msg.Formed = append(msg.Formed, FormedEntry{Session: r.Session(), Who: r.Set()})
+			}
+		}
+		na := r.Uvarint()
+		if na > maxListLen {
+			return nil, fmt.Errorf("ykd: decode: ambiguous list length %d too large", na)
+		}
+		if r.Err() == nil && na > 0 {
+			msg.Ambiguous = make([]view.Session, 0, na)
+			for i := uint64(0); i < na && r.Err() == nil; i++ {
+				msg.Ambiguous = append(msg.Ambiguous, r.Session())
+			}
+		}
+		m = msg
+	case tagAttempt:
+		m = &AttemptMessage{ViewID: r.Varint(), Session: r.Session()}
+	case tagFlush:
+		m = &FlushMessage{ViewID: r.Varint(), Session: r.Session()}
+	default:
+		return nil, fmt.Errorf("ykd: unknown message tag %d", tag)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ykd: decode: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("ykd: decode: %d trailing bytes", r.Remaining())
+	}
+	return m, nil
+}

@@ -1,0 +1,115 @@
+package ykd_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynvote/internal/core"
+	"dynvote/internal/mr1p"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/ykd"
+)
+
+// Property: under arbitrary random change schedules, every algorithm
+// preserves the one-primary invariant and reaches stable agreement —
+// the thesis's trial-by-fire conditions, driven by testing/quick.
+func TestSafetyUnderRandomScheduleProperty(t *testing.T) {
+	factories := []core.Factory{
+		ykd.Factory(ykd.VariantYKD),
+		ykd.Factory(ykd.VariantUnoptimized),
+		ykd.Factory(ykd.VariantDFLS),
+		ykd.Factory(ykd.VariantOnePending),
+		mr1p.Factory(),
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			prop := func(seed int64, changes uint8, rateTenths uint8) bool {
+				d := sim.NewDriver(f, sim.Config{
+					Procs:       10,
+					Changes:     int(changes%24) + 1,
+					MeanRounds:  float64(rateTenths%50) / 10,
+					CheckSafety: true, // one-primary after every round + stable agreement
+				}, rng.New(seed))
+				_, err := d.Run()
+				return err == nil
+			}
+			cfg := &quick.Config{MaxCount: 40}
+			if testing.Short() {
+				cfg.MaxCount = 10
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: the ambiguous-session count at a YKD process never exceeds
+// the linear worst case, and unoptimized YKD always retains at least
+// as many sessions as YKD on the same schedule.
+func TestRetentionOrderingProperty(t *testing.T) {
+	prop := func(seed int64, changes uint8) bool {
+		run := func(f core.Factory) ([]int, bool) {
+			d := sim.NewDriver(f, sim.Config{
+				Procs:      10,
+				Changes:    int(changes%20) + 2,
+				MeanRounds: 2,
+			}, rng.New(seed))
+			res, err := d.Run()
+			if err != nil {
+				return nil, false
+			}
+			return append(res.AmbiguousAtChanges, res.AmbiguousAtEnd), true
+		}
+		ykdCounts, ok1 := run(ykd.Factory(ykd.VariantYKD))
+		unoptCounts, ok2 := run(ykd.Factory(ykd.VariantUnoptimized))
+		if !ok1 || !ok2 || len(ykdCounts) != len(unoptCounts) {
+			return false
+		}
+		for i := range ykdCounts {
+			if ykdCounts[i] > 10 { // linear bound, n = 10
+				return false
+			}
+			if ykdCounts[i] > unoptCounts[i] {
+				return false // pruning may only reduce retention
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds give identical outcomes for every variant
+// (the determinism the thesis's same-random-sequence methodology
+// relies on).
+func TestRunDeterminismProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		for _, f := range []core.Factory{ykd.Factory(ykd.VariantYKD), mr1p.Factory()} {
+			one := func() (bool, int) {
+				d := sim.NewDriver(f, sim.Config{Procs: 8, Changes: 6, MeanRounds: 1}, rng.New(seed))
+				res, err := d.Run()
+				if err != nil {
+					return false, -1
+				}
+				return res.PrimaryFormed, res.Rounds
+			}
+			f1, r1 := one()
+			f2, r2 := one()
+			if f1 != f2 || r1 != r2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

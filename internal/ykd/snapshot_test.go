@@ -1,0 +1,95 @@
+package ykd_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+func initial(n int) view.View { return view.View{ID: 0, Members: proc.Universe(n)} }
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	a := ykd.New(ykd.VariantYKD, 2, initial(5))
+	// Give it durable state beyond the defaults.
+	a.ViewChange(view.View{ID: 1, Members: proc.NewSet(0, 1, 2)})
+	a.Poll()
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := ykd.New(ykd.VariantYKD, 2, initial(5))
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.InPrimary() {
+		t.Error("restored instance must not be in primary")
+	}
+	if !b.LastPrimary().Equal(a.LastPrimary()) {
+		t.Errorf("lastPrimary = %v, want %v", b.LastPrimary(), a.LastPrimary())
+	}
+	if b.AmbiguousSessionCount() != a.AmbiguousSessionCount() {
+		t.Errorf("ambiguous = %d, want %d", b.AmbiguousSessionCount(), a.AmbiguousSessionCount())
+	}
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	a := ykd.New(ykd.VariantYKD, 2, initial(5))
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongVariant := ykd.New(ykd.VariantDFLS, 2, initial(5))
+	if err := wrongVariant.Restore(data); err == nil {
+		t.Error("restore across variants accepted")
+	}
+	wrongSelf := ykd.New(ykd.VariantYKD, 3, initial(5))
+	if err := wrongSelf.Restore(data); err == nil {
+		t.Error("restore of another process's snapshot accepted")
+	}
+	wrongWorld := ykd.New(ykd.VariantYKD, 2, initial(7))
+	if err := wrongWorld.Restore(data); err == nil {
+		t.Error("restore with different initial view accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	a := ykd.New(ykd.VariantYKD, 0, initial(3))
+	good, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                                    // bad version
+		good[:len(good)/2],                      // truncated
+		append(append([]byte{}, good...), 0xAB), // trailing bytes
+	}
+	for i, data := range cases {
+		b := ykd.New(ykd.VariantYKD, 0, initial(3))
+		if err := b.Restore(data); err == nil {
+			t.Errorf("case %d: garbage snapshot accepted", i)
+		}
+	}
+}
+
+// All four variants implement the persistence contract.
+func TestAllVariantsSnapshot(t *testing.T) {
+	for _, v := range allVariants {
+		a := ykd.New(v, 1, initial(4))
+		var s core.Snapshotter = a
+		data, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		b := ykd.New(v, 1, initial(4))
+		if err := b.Restore(data); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package ykd implements the dynamic voting algorithm of Yeger Lotem,
+// Keidar and Dolev (thesis §3.1) together with three of its variants
+// (§3.2): unoptimized YKD, DFLS, and 1-pending. All four share one
+// state machine, differing only in how ambiguous sessions are pruned
+// and how they constrain the decision to attempt a new primary.
+//
+// # Protocol
+//
+// Whenever a connectivity change delivers a new view V, members run
+// two message rounds. Round one exchanges full state — session number,
+// last primary, lastFormed table and ambiguous sessions — so that
+// every member decides from identical information, deterministically.
+// If the members DECIDE the view can become a primary, round two sends
+// attempt messages; a process that receives attempts from everyone in
+// V has formed the primary. An attempt interrupted by another view
+// change leaves behind an ambiguous session: a primary that might or
+// might not have been formed by some members.
+//
+// # Resolution rules
+//
+// Figure 3-3's LEARN / RESOLVE procedures reduce to three deterministic
+// rules over the states exchanged in the current view (the reduction
+// is worth recording, because it is what makes the unoptimized variant
+// exactly as available as YKD, as the thesis observes):
+//
+//   - ACCEPT: a session S containing this process that some process
+//     reports as formed (its lastPrimary or a lastFormed entry), with
+//     S.Number above our lastPrimary's, becomes our lastPrimary, and
+//     lastFormed(q) is raised to S for every q in S.
+//   - DELETE-superseded: an ambiguous session older than the (possibly
+//     just accepted) lastPrimary is redundant — a newer formed primary
+//     already holds a subquorum of it.
+//   - DELETE-unformed (LEARN): an ambiguous session A whose members
+//     are all present in V, each reporting a lastFormed entry that
+//     proves it never completed A, was formed by nobody and is
+//     discarded. Note the deleted constraint was trivially satisfiable
+//     anyway (A.Members ⊆ V makes V a subquorum of A), which is why
+//     the optimization affects storage and message size but never
+//     availability.
+//
+// # Variants
+//
+//   - YKD: both DELETE rules; ambiguous sessions cleared on formation.
+//   - Unoptimized YKD: no DELETE rules; ambiguous sessions cleared
+//     only when this process forms a primary. Same availability,
+//     more retained sessions (§3.2.1).
+//   - DFLS: like unoptimized, but formation does not clear ambiguous
+//     sessions — a third, flush round in the newly formed primary
+//     does. Retained sessions constrain DECIDE without the maxPrimary
+//     filter, which is what costs DFLS ≈3% availability (§3.2.2).
+//   - 1-pending: like YKD, but DECIDEs to attempt only when no
+//     unresolved ambiguous session exists anywhere in the view — it
+//     blocks rather than pipeline attempts. In the worst case an
+//     unformed session resolves only when all its members reconnect
+//     (§3.2.3).
+package ykd
+
+import (
+	"fmt"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/quorum"
+	"dynvote/internal/view"
+)
+
+// Variant selects which of the four YKD-family algorithms an instance
+// runs.
+type Variant int
+
+const (
+	// VariantYKD is the optimized algorithm of thesis §3.1.
+	VariantYKD Variant = iota + 1
+	// VariantUnoptimized is YKD without ambiguous-session pruning.
+	VariantUnoptimized
+	// VariantDFLS adds an extra deletion round (De Prisco et al.).
+	VariantDFLS
+	// VariantOnePending blocks while any ambiguous session is pending.
+	VariantOnePending
+)
+
+// String returns the algorithm name used in experiment output.
+func (v Variant) String() string {
+	switch v {
+	case VariantYKD:
+		return "ykd"
+	case VariantUnoptimized:
+		return "ykd-unopt"
+	case VariantDFLS:
+		return "dfls"
+	case VariantOnePending:
+		return "1-pending"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// prunes reports whether the variant applies the DELETE rules.
+func (v Variant) prunes() bool { return v == VariantYKD || v == VariantOnePending }
+
+type phase int
+
+const (
+	phaseIdle phase = iota + 1
+	phaseExchange
+	phaseAttempt
+	phaseFlush
+)
+
+// Algorithm is one process's instance of a YKD-family algorithm.
+// It implements core.Algorithm; it is not safe for concurrent use.
+type Algorithm struct {
+	variant Variant
+	self    proc.ID
+	initial view.Session // the thesis's W, session number 0
+
+	// Durable state (thesis §3.1).
+	lastPrimary   view.Session
+	lastFormed    []view.Session // indexed by proc.ID
+	ambiguous     []view.Session
+	sessionNumber int64
+	inPrimary     bool
+
+	// Per-view protocol state.
+	cur            view.View
+	phase          phase
+	states         []*StateMessage // indexed by proc.ID, reset each view
+	statesGot      int
+	attemptSession view.Session
+	attempts       proc.Set
+	flushes        proc.Set
+	earlyAttempts  []early
+	earlyFlushes   []early
+	out            []core.Message
+
+	scratch map[view.SessionKey]view.Session // DECIDE dedup, reused
+}
+
+type early struct {
+	from proc.ID
+	s    view.Session
+}
+
+var (
+	_ core.Algorithm         = (*Algorithm)(nil)
+	_ core.AmbiguousReporter = (*Algorithm)(nil)
+	_ core.PrimaryReporter   = (*Algorithm)(nil)
+)
+
+// New returns a variant instance for process self. The initial view
+// must contain all participating processes; it is the thesis's W, the
+// primary everyone starts in, carrying session number zero.
+func New(variant Variant, self proc.ID, initial view.View) *Algorithm {
+	w := view.NewSession(0, initial)
+	maxID := 0
+	initial.Members.ForEach(func(id proc.ID) {
+		if int(id) > maxID {
+			maxID = int(id)
+		}
+	})
+	lastFormed := make([]view.Session, maxID+1)
+	initial.Members.ForEach(func(id proc.ID) { lastFormed[id] = w })
+	return &Algorithm{
+		variant:     variant,
+		self:        self,
+		initial:     w,
+		lastPrimary: w,
+		lastFormed:  lastFormed,
+		inPrimary:   true,
+		cur:         initial,
+		phase:       phaseIdle,
+		states:      make([]*StateMessage, maxID+1),
+		scratch:     make(map[view.SessionKey]view.Session),
+	}
+}
+
+// Factory returns the host-facing description of the given variant.
+func Factory(variant Variant) core.Factory {
+	return core.Factory{
+		Name: variant.String(),
+		New: func(self proc.ID, initial view.View) core.Algorithm {
+			return New(variant, self, initial)
+		},
+		Codec: Codec{},
+	}
+}
+
+// Name implements core.Algorithm.
+func (a *Algorithm) Name() string { return a.variant.String() }
+
+// InPrimary implements core.Algorithm.
+func (a *Algorithm) InPrimary() bool { return a.inPrimary }
+
+// PrimaryMembers returns the membership of the primary this process
+// last formed; meaningful while InPrimary is true.
+func (a *Algorithm) PrimaryMembers() proc.Set { return a.lastPrimary.Members }
+
+// AmbiguousSessionCount reports the retained ambiguous sessions, the
+// quantity measured in thesis Figures 4-7 and 4-8.
+func (a *Algorithm) AmbiguousSessionCount() int { return len(a.ambiguous) }
+
+// LastPrimary returns the last primary component this process formed
+// or accepted.
+func (a *Algorithm) LastPrimary() view.Session { return a.lastPrimary }
+
+// ViewChange starts the two-round protocol in the new view: any
+// attempt in progress is abandoned (leaving its session ambiguous) and
+// the process broadcasts its state.
+func (a *Algorithm) ViewChange(v view.View) {
+	a.cur = v
+	a.inPrimary = false
+	a.phase = phaseExchange
+	for i := range a.states {
+		a.states[i] = nil
+	}
+	a.statesGot = 0
+	a.attempts = proc.Set{}
+	a.flushes = proc.Set{}
+	a.earlyAttempts = a.earlyAttempts[:0]
+	a.earlyFlushes = a.earlyFlushes[:0]
+
+	st := a.snapshotState(v.ID)
+	a.out = append(a.out, st)
+	a.acceptState(a.self, st)
+}
+
+// Deliver implements core.Algorithm. The host guarantees
+// view-synchronous delivery; the ViewID checks are defensive.
+func (a *Algorithm) Deliver(from proc.ID, m core.Message) {
+	switch msg := m.(type) {
+	case *StateMessage:
+		if a.phase == phaseExchange && msg.ViewID == a.cur.ID {
+			a.acceptState(from, msg)
+		}
+	case *AttemptMessage:
+		if msg.ViewID != a.cur.ID {
+			return
+		}
+		switch a.phase {
+		case phaseExchange:
+			// FIFO order guarantees the sender's state arrived first,
+			// but we may still be waiting on other members' states.
+			a.earlyAttempts = append(a.earlyAttempts, early{from: from, s: msg.Session})
+		case phaseAttempt:
+			a.recordAttempt(from, msg.Session)
+		}
+	case *FlushMessage:
+		if a.variant != VariantDFLS || msg.ViewID != a.cur.ID {
+			return
+		}
+		switch a.phase {
+		case phaseExchange, phaseAttempt:
+			a.earlyFlushes = append(a.earlyFlushes, early{from: from, s: msg.Session})
+		case phaseFlush:
+			a.recordFlush(from, msg.Session)
+		}
+	}
+}
+
+// Poll implements core.Algorithm, draining the send queue.
+func (a *Algorithm) Poll() []core.Message {
+	if len(a.out) == 0 {
+		return nil
+	}
+	out := a.out
+	a.out = nil
+	return out
+}
+
+// snapshotState captures this process's durable state for broadcast.
+func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
+	// Group the lastFormed table by session: a process's formed
+	// sessions carry distinct numbers, so the number keys the group.
+	type group struct {
+		s   view.Session
+		who proc.Set
+	}
+	var groups []group
+	a.initial.Members.ForEach(func(q proc.ID) {
+		s := a.lastFormed[q]
+		for i := range groups {
+			if groups[i].s.Number == s.Number {
+				groups[i].who = groups[i].who.With(q)
+				return
+			}
+		}
+		groups = append(groups, group{s: s, who: proc.NewSet(q)})
+	})
+	formed := make([]FormedEntry, len(groups))
+	for i, g := range groups {
+		formed[i] = FormedEntry{Session: g.s, Who: g.who}
+	}
+	amb := make([]view.Session, len(a.ambiguous))
+	copy(amb, a.ambiguous)
+	return &StateMessage{
+		ViewID:        viewID,
+		SessionNumber: a.sessionNumber,
+		LastPrimary:   a.lastPrimary,
+		Formed:        formed,
+		Ambiguous:     amb,
+	}
+}
+
+func (a *Algorithm) acceptState(from proc.ID, st *StateMessage) {
+	if !a.cur.Contains(from) || int(from) >= len(a.states) || a.states[from] != nil {
+		return
+	}
+	a.states[from] = st
+	a.statesGot++
+	if a.statesGot == a.cur.Size() {
+		a.resolveAndDecide()
+	}
+}
+
+// resolveAndDecide runs once all states for the current view are in:
+// LEARN/RESOLVE (the rules in the package comment), COMPUTE, DECIDE,
+// and — on a positive decision — the attempt broadcast.
+func (a *Algorithm) resolveAndDecide() {
+	v := a.cur
+
+	// COMPUTE maxSession and maxPrimary while applying ACCEPT.
+	maxSession := a.sessionNumber
+	maxPrimary := a.lastPrimary
+	v.Members.ForEach(func(q proc.ID) {
+		st := a.states[q]
+		if st.SessionNumber > maxSession {
+			maxSession = st.SessionNumber
+		}
+		if st.LastPrimary.Number > maxPrimary.Number {
+			maxPrimary = st.LastPrimary
+		}
+		a.acceptFormed(st.LastPrimary)
+		for _, fe := range st.Formed {
+			a.acceptFormed(fe.Session)
+		}
+	})
+
+	// DELETE rules on our own ambiguous sessions (YKD and 1-pending).
+	if a.variant.prunes() {
+		kept := a.ambiguous[:0]
+		for _, s := range a.ambiguous {
+			if s.Number <= a.lastPrimary.Number {
+				continue // superseded by a formed primary containing us
+			}
+			if a.provablyUnformed(s) {
+				continue // LEARN: every member reports it didn't form s
+			}
+			kept = append(kept, s)
+		}
+		a.ambiguous = kept
+	}
+
+	// COMPUTE maxAmbiguousSessions: the combined ambiguous sessions of
+	// all members that still constrain the decision.
+	clear(a.scratch)
+	v.Members.ForEach(func(q proc.ID) {
+		for _, s := range a.states[q].Ambiguous {
+			if a.variant != VariantDFLS {
+				// YKD-family COMPUTE keeps only sessions newer than
+				// maxPrimary; resolved-as-unformed sessions are
+				// excluded by the same rule every member can evaluate.
+				if s.Number <= maxPrimary.Number {
+					continue
+				}
+				if s.Members.SubsetOf(v.Members) {
+					continue
+				}
+			}
+			a.scratch[s.Key()] = s
+		}
+	})
+
+	// DECIDE.
+	decide := quorum.SubQuorum(v.Members, maxPrimary.Members)
+	if decide {
+		for _, s := range a.scratch {
+			if !quorum.SubQuorum(v.Members, s.Members) {
+				decide = false
+				break
+			}
+		}
+	}
+	if a.variant == VariantOnePending && len(a.scratch) > 0 {
+		// 1-pending refuses to pipeline: it attempts only when no
+		// unresolved ambiguous session remains anywhere in the view.
+		decide = false
+	}
+
+	if !decide {
+		a.phase = phaseIdle
+		return
+	}
+
+	a.sessionNumber = maxSession + 1
+	s := view.NewSession(a.sessionNumber, v)
+	a.ambiguous = append(a.ambiguous, s)
+	a.attemptSession = s
+	a.attempts = proc.NewSet(a.self)
+	a.phase = phaseAttempt
+	a.out = append(a.out, &AttemptMessage{ViewID: v.ID, Session: s})
+
+	pending := a.earlyAttempts
+	a.earlyAttempts = nil
+	for _, e := range pending {
+		if a.phase == phaseAttempt {
+			a.recordAttempt(e.from, e.s)
+		}
+	}
+	a.checkFormed()
+}
+
+// provablyUnformed implements the LEARN rule of Figure 3-3: session s
+// was formed by nobody if every member of s — all of whom must be
+// present in the current view — reports a lastFormed entry proving it
+// never completed s. A process q that formed s would have raised
+// lastFormed(o) to at least s.Number for every o in s, so a single
+// entry below s.Number witnesses that q did not form it.
+func (a *Algorithm) provablyUnformed(s view.Session) bool {
+	if !s.Members.SubsetOf(a.cur.Members) {
+		return false
+	}
+	unformed := true
+	s.Members.ForEach(func(q proc.ID) {
+		if !unformed {
+			return
+		}
+		st := a.states[q]
+		witnessed := false
+		s.Members.ForEach(func(o proc.ID) {
+			if witnessed {
+				return
+			}
+			if f, ok := st.FormedFor(o); ok && f.Number < s.Number {
+				witnessed = true
+			}
+		})
+		if !witnessed {
+			unformed = false
+		}
+	})
+	return unformed
+}
+
+// acceptFormed applies the ACCEPT rule for one formed-session report.
+func (a *Algorithm) acceptFormed(s view.Session) {
+	if !s.Contains(a.self) {
+		return
+	}
+	if s.Number > a.lastPrimary.Number {
+		a.lastPrimary = s
+	}
+	s.Members.ForEach(func(q proc.ID) {
+		if int(q) < len(a.lastFormed) && s.Number > a.lastFormed[q].Number {
+			a.lastFormed[q] = s
+		}
+	})
+}
+
+func (a *Algorithm) recordAttempt(from proc.ID, s view.Session) {
+	if !s.Equal(a.attemptSession) || !a.cur.Contains(from) {
+		return
+	}
+	a.attempts = a.attempts.With(from)
+	a.checkFormed()
+}
+
+// checkFormed completes the formation once attempts arrived from every
+// member of the view.
+func (a *Algorithm) checkFormed() {
+	if a.phase != phaseAttempt || !a.cur.Members.SubsetOf(a.attempts) {
+		return
+	}
+	s := a.attemptSession
+	a.lastPrimary = s
+	a.inPrimary = true
+	a.cur.Members.ForEach(func(q proc.ID) {
+		if int(q) < len(a.lastFormed) {
+			a.lastFormed[q] = s
+		}
+	})
+
+	if a.variant == VariantDFLS {
+		// DFLS defers deletion to a third, flush round in the newly
+		// formed primary.
+		a.phase = phaseFlush
+		a.flushes = proc.NewSet(a.self)
+		a.out = append(a.out, &FlushMessage{ViewID: a.cur.ID, Session: s})
+		pending := a.earlyFlushes
+		a.earlyFlushes = nil
+		for _, e := range pending {
+			if a.phase == phaseFlush {
+				a.recordFlush(e.from, e.s)
+			}
+		}
+		a.checkFlushed()
+		return
+	}
+
+	// YKD, unoptimized YKD and 1-pending delete all ambiguous sessions
+	// the moment a primary is formed.
+	a.ambiguous = nil
+	a.phase = phaseIdle
+}
+
+func (a *Algorithm) recordFlush(from proc.ID, s view.Session) {
+	if !s.Equal(a.lastPrimary) || !a.cur.Contains(from) {
+		return
+	}
+	a.flushes = a.flushes.With(from)
+	a.checkFlushed()
+}
+
+func (a *Algorithm) checkFlushed() {
+	if a.phase != phaseFlush || !a.cur.Members.SubsetOf(a.flushes) {
+		return
+	}
+	a.ambiguous = nil
+	a.phase = phaseIdle
+}

@@ -1,0 +1,415 @@
+package ykd_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// harness drives a cluster through scripted view sequences.
+type harness struct {
+	t      *testing.T
+	c      *sim.Cluster
+	r      *rng.Source
+	nextID int64
+}
+
+func newHarness(t *testing.T, variant ykd.Variant, n int) *harness {
+	t.Helper()
+	return &harness{
+		t:      t,
+		c:      sim.NewCluster(ykd.Factory(variant), n),
+		r:      rng.New(1),
+		nextID: 1,
+	}
+}
+
+// split issues one view per member list, then runs to quiescence.
+func (h *harness) split(memberLists ...[]proc.ID) {
+	h.t.Helper()
+	views := make([]view.View, len(memberLists))
+	for i, ids := range memberLists {
+		views[i] = view.View{ID: h.nextID, Members: proc.NewSet(ids...)}
+		h.nextID++
+	}
+	h.c.Collect(h.r)
+	h.c.IssueViews(h.r, views...)
+	h.settle()
+}
+
+// splitNoSettle issues views without running the protocol.
+func (h *harness) splitNoSettle(memberLists ...[]proc.ID) {
+	h.t.Helper()
+	views := make([]view.View, len(memberLists))
+	for i, ids := range memberLists {
+		views[i] = view.View{ID: h.nextID, Members: proc.NewSet(ids...)}
+		h.nextID++
+	}
+	h.c.Collect(h.r)
+	h.c.IssueViews(h.r, views...)
+}
+
+func (h *harness) settle() {
+	h.t.Helper()
+	if _, err := h.c.RunToQuiescence(h.r, 1000); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := sim.CheckOnePrimary(h.c); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func (h *harness) inPrimary(p proc.ID) bool { return h.c.Algorithm(p).InPrimary() }
+
+func (h *harness) wantPrimary(p proc.ID, want bool) {
+	h.t.Helper()
+	if got := h.inPrimary(p); got != want {
+		h.t.Errorf("process %v: InPrimary = %v, want %v", p, got, want)
+	}
+}
+
+func (h *harness) ambiguous(p proc.ID) int {
+	return h.c.Algorithm(p).(core.AmbiguousReporter).AmbiguousSessionCount()
+}
+
+// dropAttemptsTo drops attempt messages addressed to the given
+// processes, simulating members that detach before the final round.
+func (h *harness) dropAttemptsTo(ids ...proc.ID) {
+	blocked := proc.NewSet(ids...)
+	h.c.Drop = func(_, to proc.ID, m core.Message) bool {
+		_, isAttempt := m.(*ykd.AttemptMessage)
+		return isAttempt && blocked.Contains(to)
+	}
+}
+
+func (h *harness) clearDrop() { h.c.Drop = nil }
+
+var allVariants = []ykd.Variant{
+	ykd.VariantYKD, ykd.VariantUnoptimized, ykd.VariantDFLS, ykd.VariantOnePending,
+}
+
+func TestInitialViewIsPrimary(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			h := newHarness(t, v, 5)
+			for p := proc.ID(0); p < 5; p++ {
+				h.wantPrimary(p, true)
+			}
+		})
+	}
+}
+
+func TestMajorityPartitionFormsPrimary(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			h := newHarness(t, v, 5)
+			h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+			for _, p := range []proc.ID{0, 1, 2} {
+				h.wantPrimary(p, true)
+			}
+			for _, p := range []proc.ID{3, 4} {
+				h.wantPrimary(p, false)
+			}
+		})
+	}
+}
+
+func TestCascadedShrinkingPrimaries(t *testing.T) {
+	// Dynamic voting's selling point: a majority of the previous
+	// primary suffices, even when it is a minority of the system.
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			h := newHarness(t, v, 8)
+			h.split([]proc.ID{0, 1, 2, 3, 4}, []proc.ID{5, 6, 7})
+			h.wantPrimary(0, true)
+			h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4}, []proc.ID{5, 6, 7})
+			h.wantPrimary(0, true) // 3 of previous 5
+			h.split([]proc.ID{0, 1}, []proc.ID{2}, []proc.ID{3, 4}, []proc.ID{5, 6, 7})
+			h.wantPrimary(0, true) // 2 of previous 3
+			h.wantPrimary(5, false)
+			h.wantPrimary(3, false)
+		})
+	}
+}
+
+func TestSimpleMajorityWouldNotSurviveShrinking(t *testing.T) {
+	// Contrast for the test above: {0,1} is only 2 of 8 original
+	// processes, so only dynamic voting keeps it primary.
+	h := newHarness(t, ykd.VariantYKD, 8)
+	h.split([]proc.ID{0, 1, 2, 3, 4}, []proc.ID{5, 6, 7})
+	h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4}, []proc.ID{5, 6, 7})
+	h.split([]proc.ID{0, 1}, []proc.ID{2}, []proc.ID{3, 4}, []proc.ID{5, 6, 7})
+	if got := proc.NewSet(0, 1).Count(); 2*got > 8 {
+		t.Fatal("test setup broken: {0,1} must be a system-wide minority")
+	}
+	h.wantPrimary(0, true)
+}
+
+// TestFigure31Scenario reproduces the inconsistency scenario of thesis
+// Figure 3-1 and verifies YKD resolves it: a and b form {a,b,c}, c
+// detaches before learning the outcome, and the ambiguous session must
+// prevent {c,d,e} from forming a second primary.
+func TestFigure31Scenario(t *testing.T) {
+	for _, variant := range allVariants {
+		t.Run(variant.String(), func(t *testing.T) {
+			h := newHarness(t, variant, 5)
+			const a, b, c, d, e = 0, 1, 2, 3, 4
+
+			// Partition into {a,b,c} and {d,e}; c misses the attempts.
+			h.dropAttemptsTo(c)
+			h.split([]proc.ID{a, b, c}, []proc.ID{d, e})
+			h.clearDrop()
+
+			h.wantPrimary(a, true)
+			h.wantPrimary(b, true)
+			h.wantPrimary(c, false)
+			if got := h.ambiguous(c); got != 1 {
+				t.Fatalf("c retains %d ambiguous sessions, want 1", got)
+			}
+
+			// c detaches from a,b and joins d,e.
+			h.split([]proc.ID{a, b}, []proc.ID{c, d, e})
+
+			// a,b (a majority of {a,b,c}) re-form.
+			h.wantPrimary(a, true)
+			h.wantPrimary(b, true)
+			// {c,d,e} holds a majority of the original five, but c's
+			// ambiguous session {a,b,c} blocks it — the naive approach
+			// would have formed a second, concurrent primary here.
+			h.wantPrimary(c, false)
+			h.wantPrimary(d, false)
+			h.wantPrimary(e, false)
+		})
+	}
+}
+
+// TestAmbiguousResolvedAsFormed continues the Figure 3-1 scenario: when
+// c reconnects with a and b, it learns from their lastFormed tables
+// that {a,b,c} really was formed, resolves the ambiguity, and the full
+// system forms a primary again.
+func TestAmbiguousResolvedAsFormed(t *testing.T) {
+	h := newHarness(t, ykd.VariantYKD, 5)
+	const a, b, c, d, e = 0, 1, 2, 3, 4
+
+	h.dropAttemptsTo(c)
+	h.split([]proc.ID{a, b, c}, []proc.ID{d, e})
+	h.clearDrop()
+	h.split([]proc.ID{a, b}, []proc.ID{c, d, e})
+
+	// Everyone reconnects.
+	h.split([]proc.ID{a, b, c, d, e})
+	for p := proc.ID(0); p < 5; p++ {
+		h.wantPrimary(p, true)
+	}
+	if got := h.ambiguous(c); got != 0 {
+		t.Errorf("c retains %d ambiguous sessions after resolution, want 0", got)
+	}
+}
+
+// TestUnformedSessionResolvedWhenAllMembersPresent checks the other
+// resolution outcome: an attempt nobody completed is discarded once
+// all its members are back together.
+func TestUnformedSessionResolvedWhenAllMembersPresent(t *testing.T) {
+	h := newHarness(t, ykd.VariantYKD, 5)
+
+	// {0,1,2} attempt a primary but nobody receives any attempts.
+	h.dropAttemptsTo(0, 1, 2)
+	h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	h.clearDrop()
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.wantPrimary(p, false)
+		if got := h.ambiguous(p); got != 1 {
+			t.Fatalf("process %v retains %d ambiguous sessions, want 1", p, got)
+		}
+	}
+
+	// All members of the unformed session reunite: it resolves, and
+	// the view (still a majority of W) forms.
+	h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+	for _, p := range []proc.ID{0, 1, 2} {
+		h.wantPrimary(p, true)
+		if got := h.ambiguous(p); got != 0 {
+			t.Errorf("process %v retains %d ambiguous sessions, want 0", p, got)
+		}
+	}
+}
+
+// TestOnePendingBlocksWhereYKDProceeds exercises the defining
+// difference of §3.2.3: YKD pipelines past an unresolved ambiguous
+// session when the new view holds a subquorum of it; 1-pending blocks.
+func TestOnePendingBlocksWhereYKDProceeds(t *testing.T) {
+	run := func(variant ykd.Variant) *harness {
+		h := newHarness(t, variant, 5)
+		// {0,1,2} attempt a primary; nobody completes it, so the
+		// session A = {0,1,2} is pending at 0, 1 and 2.
+		h.dropAttemptsTo(0, 1, 2)
+		h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4})
+		h.clearDrop()
+		// View {0,1,3}: a majority of W and a subquorum of A (2 of 3),
+		// but A itself is unresolvable (2 is absent). YKD pipelines
+		// past the pending session; 1-pending blocks on it.
+		h.split([]proc.ID{0, 1, 3}, []proc.ID{2}, []proc.ID{4})
+		return h
+	}
+
+	ykdH := run(ykd.VariantYKD)
+	ykdH.wantPrimary(0, true)
+	ykdH.wantPrimary(3, true)
+
+	opH := run(ykd.VariantOnePending)
+	opH.wantPrimary(0, false)
+	opH.wantPrimary(1, false)
+	opH.wantPrimary(3, false)
+}
+
+// TestDFLSBlockedByRetainedSession hand-crafts the mechanism behind
+// DFLS's ≈3% availability deficit (§4.1): a stale retained ambiguous
+// session constrains DFLS after YKD has already discarded it as
+// superseded.
+func TestDFLSBlockedByRetainedSession(t *testing.T) {
+	run := func(variant ykd.Variant) *harness {
+		h := newHarness(t, variant, 6)
+		// {0,1,2} — exactly half of W, holding its smallest process —
+		// attempt a primary; nobody completes: session A = {0,1,2}.
+		h.dropAttemptsTo(0, 1, 2)
+		h.split([]proc.ID{0, 1, 2}, []proc.ID{3, 4, 5})
+		h.clearDrop()
+		// 0 detaches alone, keeping A pending; {1,2} join the others
+		// and form primary P = {1,2,3,4,5} (supersedes A).
+		h.split([]proc.ID{0}, []proc.ID{1, 2}, []proc.ID{3, 4, 5})
+		h.split([]proc.ID{0}, []proc.ID{1, 2, 3, 4, 5})
+		// Now 0 joins a subquorum of P that holds only one member of A.
+		h.split([]proc.ID{0, 3, 4, 5}, []proc.ID{1, 2})
+		return h
+	}
+
+	for _, variant := range []ykd.Variant{ykd.VariantYKD, ykd.VariantUnoptimized} {
+		h := run(variant)
+		h.wantPrimary(3, true) // A is superseded by P; the view forms
+		h.wantPrimary(0, true)
+	}
+
+	h := run(ykd.VariantDFLS)
+	// 0 still retains A (its deletion round never happened), and the
+	// view holds no subquorum of A: DFLS blocks.
+	if got := h.ambiguous(0); got == 0 {
+		t.Fatal("DFLS process 0 should still retain the stale session")
+	}
+	h.wantPrimary(3, false)
+	h.wantPrimary(0, false)
+}
+
+// TestDFLSRetainsUntilFlush verifies the extra deletion round: members
+// of a formed primary whose flush round is starved keep their
+// ambiguous sessions, unlike YKD which clears on formation.
+func TestDFLSRetainsUntilFlush(t *testing.T) {
+	const c = 2
+	hY := newHarness(t, ykd.VariantYKD, 5)
+	hY.dropAttemptsTo(c)
+	hY.split([]proc.ID{0, 1, c}, []proc.ID{3, 4})
+	hY.clearDrop()
+	if got := hY.ambiguous(0); got != 0 {
+		t.Errorf("YKD former retains %d sessions, want 0", got)
+	}
+
+	hD := newHarness(t, ykd.VariantDFLS, 5)
+	hD.dropAttemptsTo(c)
+	hD.split([]proc.ID{0, 1, c}, []proc.ID{3, 4})
+	hD.clearDrop()
+	// 0 and 1 formed {0,1,2}, but c never did, so c never flushed and
+	// the deletion round cannot complete.
+	hD.wantPrimary(0, true)
+	if got := hD.ambiguous(0); got != 1 {
+		t.Errorf("DFLS former retains %d sessions, want 1", got)
+	}
+}
+
+// TestUnoptimizedRetainsMore verifies §3.2.1: the optimization changes
+// storage, not availability. Session A = {0..4} is left unformed; a
+// primary P forms without processes 3 and 4; then all of A regroups in
+// a view too weak to form (only 3 of P's 7 members). Neither variant
+// forms — identical availability — but YKD's LEARN rule lets 3 discard
+// A (all members present, every one provably never completed it) while
+// the unoptimized variant keeps it.
+func TestUnoptimizedRetainsMore(t *testing.T) {
+	run := func(variant ykd.Variant) *harness {
+		h := newHarness(t, variant, 9)
+		h.dropAttemptsTo(0, 1, 2, 3, 4)
+		h.split([]proc.ID{0, 1, 2, 3, 4}, []proc.ID{5, 6, 7, 8})
+		h.clearDrop()
+		// P = {0,1,2,5,6,7,8}: a majority of W and of A (3 of 5).
+		h.split([]proc.ID{0, 1, 2, 5, 6, 7, 8}, []proc.ID{3, 4})
+		// All of A reunites, with only 3 of P's 7 members present.
+		h.split([]proc.ID{0, 1, 2, 3, 4}, []proc.ID{5, 6, 7, 8})
+		return h
+	}
+
+	hy := run(ykd.VariantYKD)
+	hu := run(ykd.VariantUnoptimized)
+
+	// Identical availability: {0..4} cannot form (3 of P's 7 members),
+	// while {5,6,7,8} — a majority of P — re-forms, for both variants.
+	for _, h := range []*harness{hy, hu} {
+		h.wantPrimary(0, false)
+		h.wantPrimary(3, false)
+		h.wantPrimary(5, true)
+	}
+
+	// Different retention at process 3, which held A throughout.
+	if got := hy.ambiguous(3); got != 0 {
+		t.Errorf("ykd retains %d sessions, want 0", got)
+	}
+	if got := hu.ambiguous(3); got != 1 {
+		t.Errorf("ykd-unopt retains %d sessions, want 1", got)
+	}
+}
+
+// TestDeterministicAgreement: after any quiescent exchange, all view
+// members agree (the algorithm decides deterministically from shared
+// information).
+func TestDeterministicAgreement(t *testing.T) {
+	for _, variant := range allVariants {
+		t.Run(variant.String(), func(t *testing.T) {
+			h := newHarness(t, variant, 6)
+			h.split([]proc.ID{0, 1, 2, 3}, []proc.ID{4, 5})
+			h.split([]proc.ID{0, 1}, []proc.ID{2, 3}, []proc.ID{4, 5})
+			h.split([]proc.ID{0, 1, 2, 3, 4, 5})
+			if err := sim.CheckStableAgreement(h.c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestLexicalTieBreakOnExactHalf: when the primary splits exactly in
+// half, the side holding the lexically smallest process survives.
+func TestLexicalTieBreakOnExactHalf(t *testing.T) {
+	for _, variant := range allVariants {
+		t.Run(variant.String(), func(t *testing.T) {
+			h := newHarness(t, variant, 6)
+			h.split([]proc.ID{0, 4, 5}, []proc.ID{1, 2, 3})
+			h.wantPrimary(0, true)
+			h.wantPrimary(4, true)
+			h.wantPrimary(1, false)
+			h.wantPrimary(2, false)
+		})
+	}
+}
+
+func TestSingletonViews(t *testing.T) {
+	// Full scatter: nobody is primary; then the lexical-smallest chain
+	// can rebuild by merging one at a time.
+	h := newHarness(t, ykd.VariantYKD, 3)
+	h.split([]proc.ID{0, 1}, []proc.ID{2})
+	h.wantPrimary(0, true)
+	h.split([]proc.ID{0}, []proc.ID{1}, []proc.ID{2})
+	// {0} is half of {0,1} and holds its smallest member: primary.
+	h.wantPrimary(0, true)
+	h.wantPrimary(1, false)
+	h.wantPrimary(2, false)
+}
