@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test test-race bench
+
+# check is the tier-1 gate: formatting, vet, build, full test suite.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# test-race re-runs the concurrency-sensitive packages under the race
+# detector: the metrics registry, the live group-communication stack,
+# and the instrumented simulator.
+test-race:
+	$(GO) test -race ./internal/metrics/... ./internal/gcs/... ./internal/sim/... ./internal/trace/... ./internal/experiment/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -15,6 +15,7 @@ import (
 
 	"dynvote/internal/algset"
 	"dynvote/internal/experiment"
+	"dynvote/internal/metrics"
 	"dynvote/internal/rng"
 	"dynvote/internal/sim"
 	"dynvote/internal/ykd"
@@ -299,4 +300,25 @@ func BenchmarkLatencyStudy(b *testing.B) {
 			printFirst(b, "latency", experiment.RenderLatencyStudy(spec, rows))
 		}
 	}
+}
+
+// BenchmarkDriverMetricsOverhead quantifies the cost of the metrics
+// layer on the Figure 4-2 unit workload: "off" is the nil-registry
+// no-op path (the default for every existing caller), "on" pays the
+// atomic increments. The contract is that "off" matches the
+// uninstrumented driver and "on" stays within a few percent.
+func BenchmarkDriverMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *metrics.Registry) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
+				Procs: 64, Changes: 6, MeanRounds: 4, Metrics: reg,
+			}, rng.New(int64(i)))
+			if _, err := d.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, metrics.NewRegistry()) })
 }

@@ -18,6 +18,7 @@ import (
 
 	"dynvote/internal/algset"
 	"dynvote/internal/experiment"
+	"dynvote/internal/metrics"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 20000505, "random seed")
 		sizes   = fs.Bool("sizes", false, "measure message sizes (slower)")
 		check   = fs.Bool("check", false, "run safety checker during every run")
+		mout    = fs.String("metrics-out", "", "write a machine-readable JSON run report (results + metrics snapshot) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,10 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q (fresh or cascading)", *mode)
 	}
 
+	var reg *metrics.Registry
+	if *mout != "" {
+		reg = metrics.NewRegistry()
+	}
 	spec := experiment.CaseSpec{
 		Factory:      factory,
 		Procs:        *procs,
@@ -68,9 +74,24 @@ func run(args []string) error {
 		Seed:         *seed,
 		MeasureSizes: *sizes,
 		CheckSafety:  *check,
+		Metrics:      reg,
 	}
 
 	start := time.Now()
+	report := experiment.RunReport{
+		Tool: "availsim", Seed: *seed, Procs: *procs, Runs: *runs, Mode: m.String(),
+	}
+	writeReport := func() error {
+		if *mout == "" {
+			return nil
+		}
+		report.Finish(start, reg)
+		if err := report.WriteFile(*mout); err != nil {
+			return err
+		}
+		fmt.Printf("  report written to %s\n", *mout)
+		return nil
+	}
 
 	if *alg2 != "" {
 		second, err := algset.ByName(*alg2)
@@ -87,7 +108,7 @@ func run(args []string) error {
 		fmt.Printf("  only %-12s %5d (%.2f%%)\n", factory.Name+":", pr.OnlyFirst, pr.FirstAdvantagePercent())
 		fmt.Printf("  only %-12s %5d\n", second.Name+":", pr.OnlySecond)
 		fmt.Printf("  neither:           %5d\n", pr.Neither)
-		return nil
+		return writeReport()
 	}
 
 	res, err := experiment.RunCase(spec)
@@ -110,5 +131,6 @@ func run(args []string) error {
 		fmt.Printf("  max message: %d bytes; max per-round traffic: %d bytes\n",
 			res.Sizes.MaxMessageBytes, res.Sizes.MaxRoundBytes)
 	}
-	return nil
+	report.AddCase(res, *changes)
+	return writeReport()
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dynvote/internal/experiment"
 )
 
 func TestRunSingleCase(t *testing.T) {
@@ -54,5 +59,38 @@ func TestBadAlgErrorListsChoices(t *testing.T) {
 	err := run([]string{"-alg", "nonsense", "-runs", "1"})
 	if err == nil || !strings.Contains(err.Error(), "ykd") {
 		t.Errorf("error should list valid algorithms: %v", err)
+	}
+}
+
+func TestRunWritesMetricsReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-alg", "ykd", "-procs", "16", "-changes", "4", "-rate", "2",
+		"-runs", "15", "-metrics-out", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiment.RunReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Tool != "availsim" || len(report.Cases) != 1 {
+		t.Fatalf("unexpected report shape: tool=%q cases=%d", report.Tool, len(report.Cases))
+	}
+	c := report.Cases[0]
+	if c.Algorithm != "ykd" || c.Runs != 15 || c.Changes != 4 {
+		t.Errorf("case mismatch: %+v", c)
+	}
+	if report.Metrics == nil {
+		t.Fatal("report carries no metrics snapshot")
+	}
+	if got := report.Metrics.Counters["sim_runs_total"]; got != 15 {
+		t.Errorf("sim_runs_total = %d, want 15", got)
+	}
+	if report.WallSeconds <= 0 {
+		t.Error("wall time not recorded")
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"dynvote/internal/algset"
 	"dynvote/internal/experiment"
+	"dynvote/internal/metrics"
 	"dynvote/internal/plot"
 )
 
@@ -49,6 +50,7 @@ func run(args []string) error {
 		studies = fs.Bool("studies", false, "run only the §5.1 extension studies (crash, change timing)")
 		noext   = fs.Bool("figures-only", false, "skip the in-text measurements")
 		verbose = fs.Bool("v", false, "per-case progress on stderr")
+		mout    = fs.String("metrics-out", "", "write a machine-readable JSON run report (results + metrics snapshot) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +69,15 @@ func run(args []string) error {
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
+	var (
+		reg    *metrics.Registry
+		report *experiment.RunReport
+	)
+	if *mout != "" {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+		report = &experiment.RunReport{Tool: "figures", Seed: *seed, Procs: *procs, Runs: *runs}
+	}
 	opts = opts.Defaults()
 
 	if *out != "" {
@@ -76,12 +87,23 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
+	writeReport := func() error {
+		if report == nil {
+			return nil
+		}
+		report.Finish(start, reg)
+		if err := report.WriteFile(*mout); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *mout)
+		return nil
+	}
 	if *studies {
 		if err := emitStudies(opts); err != nil {
 			return err
 		}
 		fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
-		return nil
+		return writeReport()
 	}
 	if !*extras {
 		specs := experiment.Figures(opts)
@@ -93,7 +115,7 @@ func run(args []string) error {
 			specs = []experiment.FigureSpec{f}
 		}
 		for _, spec := range specs {
-			if err := emitFigure(spec, *out); err != nil {
+			if err := emitFigure(spec, *out, report); err != nil {
 				return err
 			}
 		}
@@ -104,16 +126,19 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
-	return nil
+	return writeReport()
 }
 
-func emitFigure(spec experiment.FigureSpec, outDir string) error {
+func emitFigure(spec experiment.FigureSpec, outDir string, report *experiment.RunReport) error {
 	fmt.Printf("==== Figure %s: %s ====\n\n", spec.ID, spec.Caption)
 	for _, sweep := range spec.Sweeps {
 		start := time.Now()
 		series, err := experiment.RunSweep(sweep)
 		if err != nil {
 			return err
+		}
+		if report != nil {
+			report.AddSeries(series, sweep.Changes)
 		}
 		switch spec.Kind {
 		case experiment.KindAvailability:

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"dynvote/internal/experiment"
 )
 
 func TestRunSingleAvailabilityFigure(t *testing.T) {
@@ -52,5 +55,33 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) accepted bad input", args)
 		}
+	}
+}
+
+func TestRunFigureWritesMetricsReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-fig", "4-1", "-procs", "16", "-runs", "8",
+		"-rates", "0,4", "-metrics-out", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiment.RunReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Tool != "figures" {
+		t.Errorf("tool = %q, want figures", report.Tool)
+	}
+	// Figure 4-1 sweeps every availability algorithm over both rates.
+	if len(report.Cases) == 0 || len(report.Cases)%2 != 0 {
+		t.Errorf("got %d cases, want a positive multiple of 2 rates", len(report.Cases))
+	}
+	if report.Metrics == nil || report.Metrics.Counters["sweep_cases_total"] != int64(len(report.Cases)) {
+		t.Errorf("sweep_cases_total should match the %d reported cases: %+v",
+			len(report.Cases), report.Metrics)
 	}
 }

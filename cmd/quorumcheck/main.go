@@ -15,13 +15,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"dynvote/internal/algset"
 	"dynvote/internal/core"
+	"dynvote/internal/metrics"
+	"dynvote/internal/naive"
 	"dynvote/internal/rng"
 	"dynvote/internal/sim"
+	"dynvote/internal/trace"
 )
 
 func main() {
@@ -39,7 +43,9 @@ func run(args []string) error {
 		segment = fs.Int("segment", 12, "changes per run segment (runs cascade, healing between)")
 		rate    = fs.Float64("rate", 1.5, "mean message rounds between changes")
 		seed    = fs.Int64("seed", 20000505, "random seed")
-		algName = fs.String("alg", "", "single algorithm (default: all)")
+		algName = fs.String("alg", "", `single algorithm (default: all; "naive" runs the known-broken strawman to validate the checker)`)
+		every   = fs.Duration("progress", 10*time.Second, "progress report interval (0 disables)")
+		retain  = fs.Int("trace", 4096, "trace ring-buffer capacity dumped on a violation (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,15 +53,21 @@ func run(args []string) error {
 
 	factories := algset.All()
 	if *algName != "" {
-		f, err := algset.ByName(*algName)
-		if err != nil {
-			return err
+		// The naive strawman is deliberately outside the campaign set:
+		// it exists to prove the checker catches real violations.
+		if *algName == "naive" {
+			factories = []core.Factory{naive.Factory()}
+		} else {
+			f, err := algset.ByName(*algName)
+			if err != nil {
+				return err
+			}
+			factories = []core.Factory{f}
 		}
-		factories = []core.Factory{f}
 	}
 
 	for _, f := range factories {
-		if err := soak(f, *procs, *changes, *segment, *rate, *seed); err != nil {
+		if err := soak(os.Stdout, f, *procs, *changes, *segment, *rate, *seed, *every, *retain); err != nil {
 			return err
 		}
 	}
@@ -63,26 +75,37 @@ func run(args []string) error {
 	return nil
 }
 
-func soak(f core.Factory, procs, changes, segment int, rate float64, seed int64) error {
+func soak(w io.Writer, f core.Factory, procs, changes, segment int, rate float64, seed int64, every time.Duration, retain int) error {
 	start := time.Now()
-	d := sim.NewDriver(f, sim.Config{
+	reg := metrics.NewRegistry()
+	cfg := sim.Config{
 		Procs:       procs,
 		Changes:     segment,
 		MeanRounds:  rate,
 		CheckSafety: true,
-	}, rng.New(seed))
+		Metrics:     reg,
+	}
+	if retain > 0 {
+		cfg.Trace = trace.NewRecorder(retain)
+		// Keep structural events (views, connectivity changes) intact
+		// but thin the delivery firehose so the retained window spans
+		// more history per byte.
+		cfg.TraceSampleEvery = 8
+	}
+	d := sim.NewDriver(f, cfg, rng.New(seed))
 
 	injected := 0
 	runs := 0
 	formed := 0
-	nextReport := changes / 10
-	if nextReport == 0 {
-		nextReport = changes
-	}
+	assertions := reg.Counter("sim_checker_assertions_total", "")
+	lastReport := start
 	for injected < changes {
 		d.Heal()
 		res, err := d.Run()
 		if err != nil {
+			// A traced driver returns a sim.ViolationError whose message
+			// already carries the retained event history — the %w keeps
+			// the full dump in the output.
 			return fmt.Errorf("%s: INCONSISTENCY or failure after %d changes: %w", f.Name, injected, err)
 		}
 		injected += res.ChangesInjected
@@ -90,14 +113,17 @@ func soak(f core.Factory, procs, changes, segment int, rate float64, seed int64)
 		if res.PrimaryFormed {
 			formed++
 		}
-		if injected >= nextReport {
-			fmt.Printf("%-16s %9d/%d changes, %6d runs, availability so far %5.1f%% [%.0fs]\n",
-				f.Name, injected, changes, runs,
-				100*float64(formed)/float64(runs), time.Since(start).Seconds())
-			nextReport += changes / 10
+		if every > 0 && time.Since(lastReport) >= every {
+			lastReport = time.Now()
+			elapsed := time.Since(start).Seconds()
+			throughput := float64(injected) / elapsed
+			eta := time.Duration(float64(changes-injected) / throughput * float64(time.Second))
+			fmt.Fprintf(w, "%-16s %9d/%d changes, %6d runs, %8.0f changes/s, %d assertions, availability %5.1f%% (eta %s)\n",
+				f.Name, injected, changes, runs, throughput, assertions.Value(),
+				100*float64(formed)/float64(runs), eta.Round(time.Second))
 		}
 	}
-	fmt.Printf("%-16s PASSED: %d changes across %d cascading runs, zero violations (%.1fs)\n",
-		f.Name, injected, runs, time.Since(start).Seconds())
+	fmt.Fprintf(w, "%-16s PASSED: %d changes across %d cascading runs, %d checker assertions, zero violations (%.1fs)\n",
+		f.Name, injected, runs, assertions.Value(), time.Since(start).Seconds())
 	return nil
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dynvote/internal/algset"
+)
 
 func TestRunQuickSoak(t *testing.T) {
 	err := run([]string{"-changes", "200", "-procs", "8", "-alg", "ykd"})
@@ -24,5 +31,42 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) accepted bad input", args)
 		}
+	}
+}
+
+// TestSoakPrintsProgress forces a report on every interval check and
+// asserts the line carries the throughput, ETA and assertion fields.
+func TestSoakPrintsProgress(t *testing.T) {
+	var buf bytes.Buffer
+	f, err := algset.ByName("ykd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := soak(&buf, f, 8, 150, 12, 1.5, 1, time.Nanosecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"changes/s", "assertions", "eta", "PASSED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNaiveViolationDumpsTrace: the known-broken strawman must trip
+// the checker, and the error must carry the trace ring buffer's dump.
+// Seed 29 at these parameters violates within a few cascading runs.
+func TestNaiveViolationDumpsTrace(t *testing.T) {
+	err := run([]string{"-alg", "naive", "-procs", "8", "-changes", "500",
+		"-segment", "10", "-rate", "1", "-seed", "29"})
+	if err == nil {
+		t.Fatal("the naive strawman passed the soak — the checker is broken")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "INCONSISTENCY") {
+		t.Errorf("error does not flag the inconsistency: %.200s", msg)
+	}
+	if !strings.Contains(msg, "--- trace") || !strings.Contains(msg, "change") {
+		t.Errorf("error does not dump the trace history: %.200s", msg)
 	}
 }

@@ -2,27 +2,83 @@
 // connections on localhost: five nodes, heartbeat failure detection, a
 // partition injected at the transport layer, and recovery — the same
 // algorithm code that runs in the simulator, now on actual sockets.
+//
+// With -http the demo also exposes live introspection while it runs:
+//
+//	/metrics      cluster-wide counters, Prometheus text format
+//	/debug/vars   the same registry as expvar JSON
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Try: livecluster -http 127.0.0.1:8080 -linger 60s, then
+// curl http://127.0.0.1:8080/metrics.
 package main
 
 import (
+	"expvar"
+	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync"
 	"time"
 
 	"dynvote/internal/gcs"
+	"dynvote/internal/metrics"
 	"dynvote/internal/proc"
 	"dynvote/internal/ykd"
 )
 
 func main() {
-	if err := run(); err != nil {
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+	linger := flag.Duration("linger", 0, "keep the cluster (and the HTTP endpoint) alive this long after the demo")
+	flag.Parse()
+	if err := run(*httpAddr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "livecluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+var expvarOnce sync.Once
+
+// serveDebug starts the introspection endpoint and returns its bound
+// address. The registry backs both /metrics (Prometheus text) and
+// /debug/vars (expvar JSON); pprof is registered explicitly because
+// the demo uses its own mux, not http.DefaultServeMux.
+func serveDebug(addr string, reg *metrics.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	// expvar.Publish panics on re-registration, so the snapshot var is
+	// registered once per process even if serveDebug runs again.
+	expvarOnce.Do(func() {
+		expvar.Publish("dynvote", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+func run(httpAddr string, linger time.Duration) error {
 	const n = 5
+	reg := metrics.NewRegistry()
+	if httpAddr != "" {
+		bound, err := serveDebug(httpAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("introspection on http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+	}
+
 	transports := make([]*gcs.TCPTransport, n)
 	addrs := make(map[proc.ID]string, n)
 	for i := 0; i < n; i++ {
@@ -30,6 +86,7 @@ func run() error {
 			ID:             proc.ID(i),
 			OwnAddr:        "127.0.0.1:0",
 			HeartbeatEvery: 25 * time.Millisecond,
+			Metrics:        reg,
 		})
 		if err != nil {
 			return err
@@ -47,6 +104,7 @@ func run() error {
 			ID: proc.ID(i), N: n,
 			Transport: transports[i],
 			Algorithm: ykd.Factory(ykd.VariantYKD),
+			Metrics:   reg,
 		})
 		if err != nil {
 			return err
@@ -125,5 +183,10 @@ func run() error {
 		return err
 	}
 	report("merged back; everyone primary again:")
+
+	if linger > 0 {
+		fmt.Printf("\nlingering %s — scrape /metrics or grab a profile now\n", linger)
+		time.Sleep(linger)
+	}
 	return nil
 }

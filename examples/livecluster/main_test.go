@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dynvote/internal/metrics"
+)
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+// TestServeDebugEndpoints: the -http endpoint serves Prometheus text
+// on /metrics, expvar JSON on /debug/vars, and the pprof index.
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("gcs_broadcasts_sent_total", "frames broadcast").Add(7)
+
+	addr, err := serveDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "gcs_broadcasts_sent_total 7") {
+		t.Errorf("/metrics missing the counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE gcs_broadcasts_sent_total counter") {
+		t.Errorf("/metrics missing the TYPE line:\n%s", body)
+	}
+
+	body, _ = get(t, base+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(vars["dynvote"], &snap); err != nil {
+		t.Fatalf("dynvote expvar is not a metrics snapshot: %v", err)
+	}
+	if snap.Counters["gcs_broadcasts_sent_total"] != 7 {
+		t.Errorf("expvar snapshot counter = %d, want 7", snap.Counters["gcs_broadcasts_sent_total"])
+	}
+
+	body, _ = get(t, base+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%.300s", body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dynvote/internal/core"
+	"dynvote/internal/metrics"
 	"dynvote/internal/rng"
 	"dynvote/internal/sim"
 	"dynvote/internal/stats"
@@ -52,6 +53,10 @@ type CaseSpec struct {
 	MeasureSizes bool
 	// CheckSafety runs the invariant checker during every run.
 	CheckSafety bool
+	// Metrics, when non-nil, instruments every simulation driver the
+	// case spawns. The same registry may be shared across cases; the
+	// counters aggregate.
+	Metrics *metrics.Registry
 }
 
 // CaseResult aggregates a case's runs.
@@ -90,6 +95,7 @@ func (spec CaseSpec) config() sim.Config {
 		MeanRounds:   spec.MeanRounds,
 		MeasureSizes: spec.MeasureSizes,
 		CheckSafety:  spec.CheckSafety,
+		Metrics:      spec.Metrics,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynvote/internal/algset"
+	"dynvote/internal/metrics"
 )
 
 // Options scales the standard figure definitions. The zero value plus
@@ -21,6 +22,8 @@ type Options struct {
 	Seed int64
 	// Progress receives per-case progress lines.
 	Progress func(string)
+	// Metrics, when non-nil, instruments every sweep the figures run.
+	Metrics *metrics.Registry
 }
 
 // Defaults fills unset fields with the thesis's parameters.
@@ -78,6 +81,7 @@ func AvailabilityFigure(id string, changes int, mode Mode, o Options) FigureSpec
 			Mode:      mode,
 			Seed:      o.Seed,
 			Progress:  o.Progress,
+			Metrics:   o.Metrics,
 		}},
 	}
 }
@@ -99,6 +103,7 @@ func AmbiguityFigure(id, caption string, o Options) FigureSpec {
 			Mode:      FreshStart,
 			Seed:      o.Seed,
 			Progress:  o.Progress,
+			Metrics:   o.Metrics,
 		})
 	}
 	return FigureSpec{ID: id, Caption: caption, Kind: KindAmbiguity, Sweeps: sweeps}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// progressReporter turns case completions into "[k/N] ... (eta 12s)"
+// lines on a caller-supplied sink. A sweep's workers finish cases in
+// arbitrary order; the reporter serializes emission so each completion
+// produces exactly one line with a consistent ordinal. A nil reporter
+// is a no-op, so call sites never branch on whether progress was
+// requested.
+type progressReporter struct {
+	mu    sync.Mutex
+	sink  func(string)
+	total int
+	done  int
+	start time.Time
+	now   func() time.Time // test seam for deterministic ETAs
+}
+
+func newProgressReporter(total int, sink func(string)) *progressReporter {
+	if sink == nil {
+		return nil
+	}
+	return &progressReporter{sink: sink, total: total, start: time.Now(), now: time.Now}
+}
+
+// caseDone reports one finished case. The sink runs under the
+// reporter's mutex: sinks need no locking of their own, and lines from
+// racing workers cannot interleave.
+func (p *progressReporter) caseDone(desc string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.sink(fmt.Sprintf("[%d/%d] %s%s", p.done, p.total, desc, p.eta()))
+}
+
+// eta extrapolates the remaining wall time from the mean case duration
+// so far. Empty until there is something to extrapolate from and once
+// nothing remains. Callers hold p.mu.
+func (p *progressReporter) eta() string {
+	if p.done == 0 || p.done >= p.total {
+		return ""
+	}
+	elapsed := p.now().Sub(p.start)
+	remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	return fmt.Sprintf("  (eta %s)", remain.Round(time.Second))
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProgressETA pins the extrapolation arithmetic with a fake clock:
+// 4 cases, 2 done in 10s → 10s remain.
+func TestProgressETA(t *testing.T) {
+	var lines []string
+	p := newProgressReporter(4, func(s string) { lines = append(lines, s) })
+	base := p.start
+	p.now = func() time.Time { return base.Add(10 * time.Second) }
+
+	p.caseDone("a")
+	p.caseDone("b")
+	if want := "[1/4] a  (eta 30s)"; lines[0] != want {
+		t.Errorf("line 1 = %q, want %q", lines[0], want)
+	}
+	if want := "[2/4] b  (eta 10s)"; lines[1] != want {
+		t.Errorf("line 2 = %q, want %q", lines[1], want)
+	}
+	p.caseDone("c")
+	p.caseDone("d")
+	if want := "[4/4] d"; lines[3] != want {
+		t.Errorf("final line = %q, want %q (no ETA once done)", lines[3], want)
+	}
+}
+
+// TestProgressNilSafe: a nil reporter (no sink requested) is a no-op.
+func TestProgressNilSafe(t *testing.T) {
+	if p := newProgressReporter(10, nil); p != nil {
+		t.Fatal("reporter without a sink should be nil")
+	}
+	var p *progressReporter
+	p.caseDone("must not panic")
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dynvote/internal/core"
+	"dynvote/internal/metrics"
 )
 
 // SweepSpec is a full figure's workload: several algorithms, a fixed
@@ -22,8 +24,30 @@ type SweepSpec struct {
 	Seed  int64
 	// MeasureSizes additionally collects message-size maxima.
 	MeasureSizes bool
-	// Progress, when non-nil, receives one line per completed case.
+	// Progress, when non-nil, receives one "[k/N] ... (eta 12s)" line
+	// per completed case. Lines are serialized; the sink needs no
+	// locking of its own.
 	Progress func(string)
+	// Metrics, when non-nil, receives sweep-level instrumentation
+	// (per-case wall time, worker count) and is plumbed into every
+	// case's simulation driver.
+	Metrics *metrics.Registry
+}
+
+// sweepMetrics instruments RunSweep itself; the driver-level counters
+// land in the same registry through CaseSpec.Metrics.
+type sweepMetrics struct {
+	cases   *metrics.Counter
+	seconds *metrics.Histogram
+	workers *metrics.Gauge
+}
+
+func newSweepMetrics(reg *metrics.Registry) sweepMetrics {
+	return sweepMetrics{
+		cases:   reg.Counter("sweep_cases_total", "measurement cases completed"),
+		seconds: reg.Histogram("sweep_case_seconds", "wall-clock seconds per measurement case", metrics.DefBuckets),
+		workers: reg.Gauge("sweep_workers", "concurrent sweep workers"),
+	}
 }
 
 // Series is one algorithm's line in a figure: a result per swept rate.
@@ -55,6 +79,9 @@ func RunSweep(spec SweepSpec) ([]Series, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	sm := newSweepMetrics(spec.Metrics)
+	sm.workers.Set(int64(workers))
+	progress := newProgressReporter(len(cells), spec.Progress)
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -84,20 +111,24 @@ func RunSweep(spec SweepSpec) ([]Series, error) {
 					Mode:         spec.Mode,
 					Seed:         spec.Seed,
 					MeasureSizes: spec.MeasureSizes,
+					Metrics:      spec.Metrics,
 				}
+				caseStart := time.Now()
 				res, err := RunCase(cs)
+				sm.seconds.Observe(time.Since(caseStart).Seconds())
+				sm.cases.Inc()
 
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
 				} else {
 					series[c.alg].Points[c.rate] = res
-					if spec.Progress != nil {
-						spec.Progress(fmt.Sprintf("%-16s rate=%-5.1f %s",
-							res.Algorithm, res.MeanRounds, res.Availability))
-					}
 				}
 				mu.Unlock()
+				if err == nil {
+					progress.caseDone(fmt.Sprintf("%-16s rate=%-5.1f %s",
+						res.Algorithm, res.MeanRounds, res.Availability))
+				}
 			}
 		}()
 	}

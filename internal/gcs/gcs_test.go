@@ -1,7 +1,6 @@
 package gcs_test
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -338,9 +337,9 @@ func TestMemNetworkRejectsPartialComponents(t *testing.T) {
 	}
 }
 
-func ExampleNode() {
-	// Three processes over an in-memory network; partition and check
-	// who keeps the primary component.
+// TestNodeMajorityKeepsPrimary: three processes over an in-memory
+// network; partition and check who keeps the primary component.
+func TestNodeMajorityKeepsPrimary(t *testing.T) {
 	net := gcs.NewMemNetwork(3)
 	nodes := make([]*gcs.Node, 3)
 	for i := range nodes {
@@ -350,8 +349,7 @@ func ExampleNode() {
 			Algorithm: ykd.Factory(ykd.VariantYKD),
 		})
 		if err != nil {
-			fmt.Println(err)
-			return
+			t.Fatal(err)
 		}
 		n.Run()
 		nodes[i] = n
@@ -362,17 +360,18 @@ func ExampleNode() {
 		}
 	}()
 
-	_ = net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2))
+	if err := net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2)); err != nil {
+		t.Fatal(err)
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if nodes[0].InPrimary() && nodes[1].InPrimary() && !nodes[2].InPrimary() {
-			fmt.Println("majority side kept the primary")
+			t.Logf("majority side kept the primary: view %v", nodes[0].CurrentView())
 			return
 		}
 		time.Sleep(time.Millisecond)
 	}
-	fmt.Println("timed out")
-	// Output: majority side kept the primary
+	t.Fatal("timed out waiting for the majority side to keep the primary")
 }
 
 // TestNodeRestartWithSnapshot: a node stops, its durable state is

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dynvote/internal/core"
+	"dynvote/internal/metrics"
 	"dynvote/internal/proc"
 	"dynvote/internal/view"
 	"dynvote/internal/wire"
@@ -57,6 +58,11 @@ type Config struct {
 	// node starts — how a process rejoins after a crash without
 	// forgetting which primaries it helped form.
 	Restore []byte
+	// Metrics, when non-nil, receives the node's instrumentation
+	// (broadcasts, deliveries, views, reconfigurations, snapshot
+	// activity). Share one registry across a cluster's nodes for
+	// cluster-wide totals.
+	Metrics *metrics.Registry
 }
 
 // Node hosts a primary component algorithm over a Transport: it runs
@@ -68,6 +74,7 @@ type Node struct {
 	alg   core.Algorithm
 	pb    *core.Piggyback
 	sends chan []byte
+	m     nodeMetrics
 
 	mu        sync.Mutex // guards the snapshot fields below
 	curView   view.View
@@ -104,6 +111,7 @@ func NewNode(cfg Config) (*Node, error) {
 	all := proc.Universe(cfg.N)
 	initial := view.View{ID: 0, Members: all}
 	alg := cfg.Algorithm.New(cfg.ID, initial)
+	m := newNodeMetrics(cfg.Metrics)
 	if cfg.Restore != nil {
 		snap, ok := alg.(core.Snapshotter)
 		if !ok {
@@ -112,10 +120,12 @@ func NewNode(cfg Config) (*Node, error) {
 		if err := snap.Restore(cfg.Restore); err != nil {
 			return nil, fmt.Errorf("gcs: restore: %w", err)
 		}
+		m.snapLoads.Inc()
 	}
 	return &Node{
 		cfg:       cfg,
 		alg:       alg,
+		m:         m,
 		pb:        core.NewPiggyback(alg, cfg.Algorithm.Codec),
 		sends:     make(chan []byte, 64),
 		early:     make(map[int64][]Frame),
@@ -149,7 +159,11 @@ func (n *Node) Snapshot() ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("gcs: %s does not support snapshots", n.alg.Name())
 	}
-	return snap.Snapshot()
+	data, err := snap.Snapshot()
+	if err == nil {
+		n.m.snapSaves.Inc()
+	}
+	return data, err
 }
 
 // InPrimary reports whether this process currently belongs to the
@@ -200,6 +214,7 @@ func (n *Node) loop() {
 // onReachability runs the membership step: the smallest reachable
 // process leads; a leader announces a fresh view to its component.
 func (n *Node) onReachability(reach proc.Set) {
+	n.m.reconfigs.Inc()
 	if !reach.Contains(n.cfg.ID) {
 		reach = reach.With(n.cfg.ID)
 	}
@@ -290,6 +305,7 @@ func (n *Node) onFrame(f Frame) {
 			if n.earlyTotal < maxEarly {
 				n.early[viewID] = append(n.early[viewID], f)
 				n.earlyTotal++
+				n.m.earlyHeld.Inc()
 			}
 		default:
 			// Older view: view-synchronous drop.
@@ -308,7 +324,9 @@ func (n *Node) deliverBundle(f Frame) {
 	if err != nil {
 		return // corrupt frame; drop
 	}
+	n.m.bundlesIn.Inc()
 	if app != nil {
+		n.m.appPayloads.Inc()
 		n.emit(Event{Kind: EventApp, From: f.From, Payload: app})
 	}
 }
@@ -316,6 +334,7 @@ func (n *Node) deliverBundle(f Frame) {
 // installView delivers the view to the algorithm and flushes whatever
 // it wants to say.
 func (n *Node) installView(v view.View) {
+	n.m.views.Inc()
 	n.mu.Lock()
 	n.curView = v
 	n.mu.Unlock()
@@ -370,6 +389,7 @@ func (n *Node) flush(appPayload []byte) {
 func (n *Node) broadcastRaw(members proc.Set, data []byte) {
 	members.ForEach(func(q proc.ID) {
 		if q != n.cfg.ID {
+			n.m.broadcasts.Inc()
 			_ = n.cfg.Transport.Send(q, data)
 		}
 	})

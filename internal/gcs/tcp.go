@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dynvote/internal/metrics"
 	"dynvote/internal/proc"
 )
 
@@ -28,6 +29,9 @@ type TCPConfig struct {
 	// FailAfter is how long a silent peer stays "reachable" (default
 	// 3× HeartbeatEvery).
 	FailAfter time.Duration
+	// Metrics, when non-nil, receives wire-traffic instrumentation
+	// (bytes and frames in/out, dials).
+	Metrics *metrics.Registry
 }
 
 // TCPTransport implements Transport over a full TCP mesh: one outgoing
@@ -39,6 +43,7 @@ type TCPTransport struct {
 	listener net.Listener
 	frames   chan Frame
 	fd       chan proc.Set
+	m        tcpMetrics
 
 	mu        sync.Mutex
 	peers     map[proc.ID]string
@@ -83,6 +88,7 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 	t := &TCPTransport{
 		cfg:      cfg,
 		listener: ln,
+		m:        newTCPMetrics(cfg.Metrics),
 		frames:   make(chan Frame, memChanDepth),
 		fd:       make(chan proc.Set, 1),
 		peers:    make(map[proc.ID]string, len(cfg.Addrs)),
@@ -138,7 +144,10 @@ func (t *TCPTransport) Send(to proc.ID, data []byte) error {
 	pc.mu.Unlock()
 	if err != nil {
 		t.dropConn(to)
+		return nil
 	}
+	t.m.bytesOut.Add(int64(len(buf)))
+	t.m.framesOut.Inc()
 	return nil
 }
 
@@ -208,6 +217,7 @@ func (t *TCPTransport) conn(to proc.ID) (*peerConn, error) {
 	}
 	pc := &peerConn{c: c}
 	t.conns[to] = pc
+	t.m.redials.Inc()
 	return pc, nil
 }
 
@@ -257,6 +267,8 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
+		t.m.bytesIn.Add(int64(tcpHeader + len(body)))
+		t.m.framesIn.Inc()
 		t.mu.Lock()
 		blocked := t.blocked.Contains(from)
 		if !blocked {

@@ -1,0 +1,182 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dynvote/internal/metrics"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up: ignored
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "help"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := metrics.NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("h", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-9 {
+		t.Errorf("Sum = %g, want 106", got)
+	}
+	s := r.Snapshot().Histograms["h"]
+	// Buckets: ≤1 (0.5, 1), ≤2 (1.5), ≤4 (3), +Inf (100).
+	want := []int64{2, 1, 1, 1}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("Buckets = %v, want %v", s.Buckets, want)
+	}
+	if mean := s.Mean(); math.Abs(mean-106.0/5) > 1e-9 {
+		t.Errorf("Mean = %g", mean)
+	}
+}
+
+func TestMismatchedTypePanics(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("name", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("name", "")
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *metrics.Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments retained values")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestNilInstrumentsAllocateNothing(t *testing.T) {
+	var c *metrics.Counter
+	var h *metrics.Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		h.Observe(1.5)
+	})
+	if allocs != 0 {
+		t.Errorf("nil instrument ops allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10})
+	c.Add(5)
+	g.Set(1)
+	h.Observe(3)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(30)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["c"] != 7 {
+		t.Errorf("counter delta = %d, want 7", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("gauge delta keeps current value: %d, want 9", d.Gauges["g"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 1 || dh.Sum != 30 || !reflect.DeepEqual(dh.Buckets, []int64{0, 1}) {
+		t.Errorf("histogram delta = %+v", dh)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("c", "").Add(3)
+	r.Gauge("g", "").Set(-2)
+	r.Histogram("h", "", []float64{1, 5}).Observe(2)
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back metrics.Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the snapshot:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestTableSortedAndAligned(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("bbb", "").Add(2)
+	r.Gauge("a", "").Set(1)
+	tab := r.Snapshot().Table()
+	if tab != "a    1\nbbb  2\n" {
+		t.Errorf("Table = %q", tab)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := metrics.NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("lat", "", []float64{1, 2, 3})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 5))
+				if j%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared_total"] != 8000 {
+		t.Errorf("counter = %d, want 8000", s.Counters["shared_total"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry's current state in the
+// Prometheus text exposition format (version 0.0.4): HELP and TYPE
+// headers, cumulative histogram buckets with an explicit +Inf bound,
+// and _sum/_count series. Metric names are sanitized to the
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	histograms := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h.snapshot()
+	}
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		help[name] = h
+	}
+	r.mu.RUnlock()
+	return writePrometheus(w, Snapshot{Counters: counters, Gauges: gauges, Histograms: histograms}, help)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text format
+// (no HELP lines — the snapshot does not carry help strings).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, s, nil)
+}
+
+func writePrometheus(w io.Writer, s Snapshot, help map[string]string) error {
+	var b strings.Builder
+	emitHeader := func(name, kind string) {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", promName(name), escapeHelp(h))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", promName(name), kind)
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		emitHeader(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", promName(name), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		emitHeader(name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", promName(name), s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		emitHeader(name, "histogram")
+		pn := promName(name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, formatBound(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps an arbitrary metric name onto the Prometheus name
+// charset, replacing invalid runes with underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

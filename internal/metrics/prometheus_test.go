@@ -1,0 +1,146 @@
+package metrics_test
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dynvote/internal/metrics"
+)
+
+// TestPrometheusGolden pins the full exposition output: HELP/TYPE
+// headers, sorted names, cumulative buckets with +Inf, _sum and
+// _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("sim_rounds_total", "message rounds executed").Add(12)
+	r.Gauge("workers", "active workers").Set(4)
+	h := r.Histogram("reform_rounds", "re-formation latency", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sim_rounds_total message rounds executed
+# TYPE sim_rounds_total counter
+sim_rounds_total 12
+# HELP workers active workers
+# TYPE workers gauge
+workers 4
+# HELP reform_rounds re-formation latency
+# TYPE reform_rounds histogram
+reform_rounds_bucket{le="1"} 1
+reform_rounds_bucket{le="2"} 1
+reform_rounds_bucket{le="4"} 2
+reform_rounds_bucket{le="+Inf"} 3
+reform_rounds_sum 13
+reform_rounds_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPrometheusFormatValid parses the output back with a conservative
+// grammar: every line is a comment or `name[{le="x"}] value`, every
+// histogram's +Inf bucket equals its _count, and buckets never
+// decrease.
+func TestPrometheusFormatValid(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("a_total", "with \"quotes\" and\nnewline").Inc()
+	r.Gauge("temp-erature.now", "").Set(-3) // name needs sanitizing
+	h := r.Histogram("h", "", []float64{0.5, 2.5})
+	for i := 0; i < 7; i++ {
+		h.Observe(float64(i))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.eE+]+|\+Inf|NaN)$`)
+	lastBucket := map[string]float64{}
+	infBucket := map[string]float64{}
+	counts := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line does not parse as a prometheus sample: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		switch {
+		case m[2] != "" && m[3] == "+Inf":
+			infBucket[m[1]] = v
+		case m[2] != "":
+			if v < lastBucket[m[1]] {
+				t.Errorf("bucket series %s not cumulative: %q", m[1], line)
+			}
+			lastBucket[m[1]] = v
+		case strings.HasSuffix(m[1], "_count"):
+			counts[strings.TrimSuffix(m[1], "_count")] = v
+		}
+	}
+	for name, c := range counts {
+		if infBucket[name+"_bucket"] != c {
+			t.Errorf("%s: +Inf bucket %g != count %g", name, infBucket[name+"_bucket"], c)
+		}
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("hits_total", "").Add(2)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hits_total 2") {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("9bad name-with.dots", "").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "_bad_name_with_dots 1") {
+		t.Errorf("sanitized output = %q", b.String())
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := metrics.NewRegistry()
+	r.Counter("demo_total", "").Add(41)
+	r.Counter("demo_total", "").Inc() // same instrument
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # TYPE demo_total counter
+	// demo_total 42
+}

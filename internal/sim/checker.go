@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"dynvote/internal/core"
 	"dynvote/internal/proc"
+	"dynvote/internal/trace"
 )
 
 // SafetyError reports a violated invariant, the thesis's trial-by-fire
@@ -18,6 +20,35 @@ type SafetyError struct {
 
 // Error implements error.
 func (e *SafetyError) Error() string { return "sim: safety violation: " + e.Reason }
+
+// ViolationError is a checker failure with the trace recorder's
+// retained history attached — what the driver returns when a run with
+// Config.Trace set trips an invariant. The history is the ring
+// buffer's contents at the moment of the violation, already captured;
+// Error renders it so that any printer of the error chain dumps the
+// run's last recorded moments.
+type ViolationError struct {
+	// Err is the underlying checker error (typically *SafetyError).
+	Err error
+	// History is the retained trace, oldest first.
+	History []trace.Event
+}
+
+// Error renders the violation followed by the retained trace.
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Err.Error())
+	fmt.Fprintf(&b, "\n--- trace: last %d events before the violation ---\n", len(e.History))
+	for _, ev := range e.History {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("--- end trace ---")
+	return b.String()
+}
+
+// Unwrap exposes the underlying checker error to errors.Is/As.
+func (e *ViolationError) Unwrap() error { return e.Err }
 
 // CheckOnePrimary verifies that at most one component is a declared
 // primary. A component — identified by its members' shared current

@@ -64,6 +64,18 @@ type Cluster struct {
 	// Trace, when non-nil, records view installations, deliveries and
 	// drops for debugging.
 	Trace *trace.Recorder
+
+	// TraceSampleEvery thins the high-volume delivery/drop events to
+	// one in N when > 1, keeping long soaks cheap to trace; view
+	// installations are always recorded (they are rare and
+	// structural). ≤ 1 records everything.
+	TraceSampleEvery int
+	traceSeq         uint64
+
+	// Metrics, when non-nil, receives the cluster's instrumentation
+	// (deliveries, drops, view installations). Nil costs one branch
+	// per delivery step.
+	Metrics *Metrics
 }
 
 // NewCluster creates n algorithm instances, all starting in the
@@ -159,6 +171,7 @@ func (c *Cluster) Recover(p proc.ID) error {
 // membership service would. Callers must Collect first so that
 // messages sent in the old views are tagged correctly.
 func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
+	installed := 0
 	for _, v := range views {
 		// Deliver the view to members in random order: the relative
 		// timing of view callbacks is not part of the model.
@@ -170,11 +183,13 @@ func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
 			}
 			c.cur[p] = v
 			c.algs[p].ViewChange(v)
+			installed++
 			if c.Trace != nil {
 				c.Trace.Record(trace.Event{Kind: trace.KindView, Process: p, View: v})
 			}
 		}
 	}
+	c.Metrics.observeViews(installed)
 }
 
 // Collect polls every process and enqueues its broadcasts, tagged with
@@ -265,18 +280,22 @@ func (c *Cluster) DeliverOne(r *rng.Source) bool {
 	}
 
 	if c.crashed.Contains(to) {
+		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "crashed")
 		return true // dropped: recipient is gone
 	}
 	if c.cur[to].ID != env.viewID {
+		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "view changed")
 		return true // dropped: recipient left the view
 	}
 	if c.Drop != nil && c.Drop(proc.ID(sender), to, env.msg) {
+		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "filtered")
 		return true // dropped by the test's filter
 	}
 	c.algs[to].Deliver(proc.ID(sender), env.msg)
+	c.Metrics.observeDelivery(true)
 	c.traceDelivery(trace.KindDeliver, sender, to, env, "")
 	return true
 }
@@ -284,6 +303,12 @@ func (c *Cluster) DeliverOne(r *rng.Source) bool {
 func (c *Cluster) traceDelivery(kind trace.Kind, sender int, to proc.ID, env *envelope, why string) {
 	if c.Trace == nil {
 		return
+	}
+	if c.TraceSampleEvery > 1 {
+		c.traceSeq++
+		if c.traceSeq%uint64(c.TraceSampleEvery) != 0 {
+			return
+		}
 	}
 	detail := env.msg.Kind()
 	if why != "" {

@@ -5,9 +5,11 @@ import (
 	"sort"
 
 	"dynvote/internal/core"
+	"dynvote/internal/metrics"
 	"dynvote/internal/netsim"
 	"dynvote/internal/proc"
 	"dynvote/internal/rng"
+	"dynvote/internal/trace"
 )
 
 // Config parameterizes a simulation run, mirroring the two user-chosen
@@ -48,6 +50,21 @@ type Config struct {
 	// MaxRounds bounds a single run as a livelock guard. Defaults to
 	// 100000.
 	MaxRounds int
+	// Metrics, when non-nil, receives the driver's instrumentation:
+	// rounds, delivery steps, drops, views, changes, settling rounds,
+	// checker assertions and the re-formation latency histogram. Nil
+	// (the default) adds no allocations to the delivery hot path.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, records view installations, deliveries,
+	// drops and connectivity changes into a bounded ring buffer. On a
+	// checker violation the retained history is attached to the error
+	// (see ViolationError), turning a failed soak into a debuggable
+	// artifact.
+	Trace *trace.Recorder
+	// TraceSampleEvery thins delivery/drop trace events to one in N
+	// when > 1 so long soaks can keep a recorder attached cheaply;
+	// views and changes are always recorded.
+	TraceSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +134,7 @@ type Driver struct {
 	rng     *rng.Source
 
 	schedule       Schedule
+	metrics        *Metrics
 	crashDone      bool
 	recoverDone    bool
 	victim         proc.ID
@@ -140,6 +158,10 @@ func NewDriver(factory core.Factory, cfg Config, r *rng.Source) *Driver {
 	if d.schedule == nil {
 		d.schedule = GeometricSchedule{MeanRounds: cfg.MeanRounds}
 	}
+	d.metrics = NewMetrics(cfg.Metrics)
+	d.cluster.Metrics = d.metrics
+	d.cluster.Trace = cfg.Trace
+	d.cluster.TraceSampleEvery = cfg.TraceSampleEvery
 	if cfg.MeasureSizes {
 		d.cluster.Bytes = func(n int) {
 			d.roundBytes += n
@@ -211,6 +233,7 @@ func (d *Driver) Run() (RunResult, error) {
 			}
 		}
 		res.Rounds++
+		d.metrics.observeRound(remaining == 0)
 		if d.cfg.MeasureSizes && d.roundBytes > res.MaxRoundBytes {
 			res.MaxRoundBytes = d.roundBytes
 		}
@@ -219,8 +242,9 @@ func (d *Driver) Run() (RunResult, error) {
 		}
 
 		if d.cfg.CheckSafety {
+			d.metrics.observeAssertion()
 			if err := CheckOnePrimary(d.cluster); err != nil {
-				return res, err
+				return res, d.violation(err)
 			}
 		}
 
@@ -230,15 +254,30 @@ func (d *Driver) Run() (RunResult, error) {
 	}
 
 	if d.cfg.CheckSafety {
+		d.metrics.observeAssertion()
 		if err := CheckStableAgreement(d.cluster); err != nil {
-			return res, err
+			return res, d.violation(err)
 		}
 	}
 
 	res.PrimaryFormed = HasPrimary(d.cluster)
 	res.AmbiguousAtEnd = d.ambiguousAt(d.cfg.StatsProc)
 	res.MaxMessageBytes = d.maxMsgBytes
+	d.metrics.observeRun(res)
 	return res, nil
+}
+
+// violation flushes the interrupted run's metric tallies (the work up
+// to the failure still counts) and annotates a checker error with the
+// retained history, when one is attached: the soak's last moments are
+// exactly what a post-mortem needs, and they would otherwise be gone
+// by the time the error surfaces.
+func (d *Driver) violation(err error) error {
+	d.metrics.flush()
+	if d.cfg.Trace == nil {
+		return err
+	}
+	return &ViolationError{Err: err, History: d.cfg.Trace.Events()}
 }
 
 // Heal reconnects the whole network with a single merge view, without
@@ -288,6 +327,8 @@ func (d *Driver) applyChange(res *RunResult) {
 			victims := d.topo.Crashed()
 			res.ChangesInjected++
 			d.changesApplied++
+			d.metrics.observeChange()
+			d.traceChange("crash", ch)
 			d.crashedAt = d.changesApplied
 			d.cluster.Collect(d.rng)
 			// The victim stops before the survivors learn anything.
@@ -308,10 +349,24 @@ func (d *Driver) applyChange(res *RunResult) {
 	}
 	res.ChangesInjected++
 	d.changesApplied++
+	d.metrics.observeChange()
+	d.traceChange("connectivity", ch)
 	// Collect before issuing so in-flight sends keep their old view
 	// tags (see Cluster.IssueViews).
 	d.cluster.Collect(d.rng)
 	d.cluster.IssueViews(d.rng, ch.NewViews...)
+}
+
+// traceChange records an injected change as a structural trace event
+// (never sampled away).
+func (d *Driver) traceChange(what string, ch netsim.Change) {
+	if d.cfg.Trace == nil {
+		return
+	}
+	d.cfg.Trace.Record(trace.Event{
+		Kind:   trace.KindChange,
+		Detail: fmt.Sprintf("%s #%d: %d new views", what, d.changesApplied, len(ch.NewViews)),
+	})
 }
 
 func (d *Driver) ambiguousAt(p proc.ID) int {

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"dynvote/internal/metrics"
+)
+
+// Metrics bundles the simulator's instrumentation, resolved once from
+// a registry so the hot loop never touches a map. A nil *Metrics (the
+// uninstrumented default) makes every observation a no-op nil check —
+// the delivery path adds no allocations and no atomic traffic when
+// metrics are disabled (see BenchmarkDriverMetricsOverhead).
+//
+// A Metrics value belongs to one Driver and is not goroutine-safe: the
+// high-frequency observations accumulate in plain local tallies (the
+// driver loop is single-threaded) and flush() pushes them into the
+// shared atomic counters once per run. Registry readers therefore see
+// run-granular totals — exact between runs, slightly stale during one.
+type Metrics struct {
+	// Runs counts completed Driver.Run invocations.
+	Runs *metrics.Counter
+	// Rounds counts message rounds executed.
+	Rounds *metrics.Counter
+	// Deliveries counts delivery steps (one (message, recipient)
+	// pair each) — the simulator's innermost unit of work.
+	Deliveries *metrics.Counter
+	// Delivered counts deliveries that reached the recipient's
+	// algorithm.
+	Delivered *metrics.Counter
+	// Dropped counts deliveries lost to crashes, view-synchronous
+	// filtering, or test drop filters.
+	Dropped *metrics.Counter
+	// Views counts per-process view installations.
+	Views *metrics.Counter
+	// Changes counts connectivity changes injected.
+	Changes *metrics.Counter
+	// SettleRounds counts rounds run after a run's change budget was
+	// exhausted — the quiescence-settling tail whose length the
+	// availability percentages hide.
+	SettleRounds *metrics.Counter
+	// Assertions counts safety-checker invariant evaluations.
+	Assertions *metrics.Counter
+	// Reform histograms per-run re-formation latency in rounds
+	// (successful runs only).
+	Reform *metrics.Histogram
+
+	// Local tallies for the hot-path observations, flushed per run.
+	rounds, settleRounds int64
+	delivered, dropped   int64
+	views, changes       int64
+	assertions           int64
+}
+
+// NewMetrics resolves the simulator's instruments from reg. A nil
+// registry yields nil — the zero-overhead disabled path.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:         reg.Counter("sim_runs_total", "completed simulation runs"),
+		Rounds:       reg.Counter("sim_rounds_total", "message rounds executed"),
+		Deliveries:   reg.Counter("sim_delivery_steps_total", "single-delivery steps executed"),
+		Delivered:    reg.Counter("sim_messages_delivered_total", "deliveries that reached an algorithm"),
+		Dropped:      reg.Counter("sim_messages_dropped_total", "deliveries dropped (crash, view change, filter)"),
+		Views:        reg.Counter("sim_views_installed_total", "per-process view installations"),
+		Changes:      reg.Counter("sim_changes_injected_total", "connectivity changes injected"),
+		SettleRounds: reg.Counter("sim_settle_rounds_total", "rounds run after the change budget was spent"),
+		Assertions:   reg.Counter("sim_checker_assertions_total", "safety-checker invariant evaluations"),
+		Reform:       reg.Histogram("sim_reform_rounds", "rounds from last change to a primary re-forming", metrics.RoundBuckets),
+	}
+}
+
+// The nil-receiver-safe observation helpers below keep the Cluster and
+// Driver call sites to one line with a single branch on the disabled
+// path.
+
+func (m *Metrics) observeDelivery(delivered bool) {
+	if m == nil {
+		return
+	}
+	if delivered {
+		m.delivered++
+	} else {
+		m.dropped++
+	}
+}
+
+func (m *Metrics) observeViews(n int) {
+	if m == nil {
+		return
+	}
+	m.views += int64(n)
+}
+
+func (m *Metrics) observeRound(settling bool) {
+	if m == nil {
+		return
+	}
+	m.rounds++
+	if settling {
+		m.settleRounds++
+	}
+}
+
+func (m *Metrics) observeChange() {
+	if m == nil {
+		return
+	}
+	m.changes++
+}
+
+func (m *Metrics) observeAssertion() {
+	if m == nil {
+		return
+	}
+	m.assertions++
+}
+
+func (m *Metrics) observeRun(res RunResult) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	if res.ReformRounds >= 0 {
+		m.Reform.Observe(float64(res.ReformRounds))
+	}
+	m.flush()
+}
+
+// flush pushes the run's local tallies into the shared counters and
+// zeroes them. Also called when a run aborts on a checker violation so
+// the work done up to the failure is still accounted for.
+func (m *Metrics) flush() {
+	if m == nil {
+		return
+	}
+	m.Rounds.Add(m.rounds)
+	m.SettleRounds.Add(m.settleRounds)
+	m.Deliveries.Add(m.delivered + m.dropped)
+	m.Delivered.Add(m.delivered)
+	m.Dropped.Add(m.dropped)
+	m.Views.Add(m.views)
+	m.Changes.Add(m.changes)
+	m.Assertions.Add(m.assertions)
+	m.rounds, m.settleRounds = 0, 0
+	m.delivered, m.dropped = 0, 0
+	m.views, m.changes, m.assertions = 0, 0, 0
+}

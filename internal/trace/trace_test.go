@@ -1,7 +1,9 @@
 package trace_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"dynvote/internal/proc"
@@ -46,6 +48,94 @@ func TestRecorderEviction(t *testing.T) {
 	evs := r.Events()
 	if evs[0].Detail != "n24" || evs[15].Detail != "n39" {
 		t.Errorf("eviction kept wrong window: %s .. %s", evs[0].Detail, evs[15].Detail)
+	}
+}
+
+// TestEvictionBoundary walks the exact capacity edge: at cap the
+// buffer is full but nothing is evicted; one more record evicts
+// exactly the oldest event.
+func TestEvictionBoundary(t *testing.T) {
+	const cap = 16
+	r := trace.NewRecorder(cap)
+	for i := 0; i < cap; i++ {
+		r.Notef("n%d", i)
+	}
+	if r.Len() != cap || r.Events()[0].Detail != "n0" {
+		t.Fatalf("at capacity: Len=%d first=%q, want %d/n0", r.Len(), r.Events()[0].Detail, cap)
+	}
+
+	r.Notef("n%d", cap) // one past capacity: n0 alone must go
+	evs := r.Events()
+	if r.Len() != cap {
+		t.Fatalf("after overflow: Len=%d, want %d", r.Len(), cap)
+	}
+	if evs[0].Detail != "n1" || evs[cap-1].Detail != fmt.Sprintf("n%d", cap) {
+		t.Errorf("window = %s .. %s, want n1 .. n%d", evs[0].Detail, evs[cap-1].Detail, cap)
+	}
+}
+
+// TestSeqMonotonicAcrossEviction: Seq numbers keep counting from the
+// start of the recording, not from the start of the retained window.
+func TestSeqMonotonicAcrossEviction(t *testing.T) {
+	r := trace.NewRecorder(16)
+	for i := 0; i < 100; i++ {
+		r.Notef("x")
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if want := uint64(100 - 16 + i); e.Seq != want {
+			t.Fatalf("event %d: Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if last := evs[len(evs)-1].Seq; last != uint64(r.Total()-1) {
+		t.Errorf("last Seq = %d, want Total-1 = %d", last, r.Total()-1)
+	}
+}
+
+// TestConcurrentRecordAndEvents hammers the recorder from writer and
+// reader goroutines at once; run under -race this is the concurrency
+// contract's enforcement. Every snapshot must be internally consistent:
+// contiguous, ascending Seq.
+func TestConcurrentRecordAndEvents(t *testing.T) {
+	r := trace.NewRecorder(64)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(trace.Event{Kind: trace.KindNote, Process: proc.ID(w), Detail: "c"})
+			}
+		}(w)
+	}
+	readErr := make(chan string, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			evs := r.Events()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq != evs[j-1].Seq+1 {
+					select {
+					case readErr <- fmt.Sprintf("snapshot not contiguous: %d then %d",
+						evs[j-1].Seq, evs[j].Seq):
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	select {
+	case msg := <-readErr:
+		t.Fatal(msg)
+	default:
+	}
+	if r.Total() != writers*perWriter {
+		t.Errorf("Total = %d, want %d", r.Total(), writers*perWriter)
 	}
 }
 
