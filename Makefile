@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench
+.PHONY: check fmt vet build test test-race bench bench-json
+
+# Sequence number for committed benchmark reports (BENCH_<n>.json).
+BENCH_N ?= 2
 
 # check is the tier-1 gate: formatting, vet, build, full test suite.
 check: fmt vet build test
@@ -28,3 +31,11 @@ test-race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-json runs the full benchmark suite with allocation stats and
+# converts the output into a machine-readable BENCH_$(BENCH_N).json,
+# the before/after evidence file committed with perf PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json
+	@echo "wrote BENCH_$(BENCH_N).json"

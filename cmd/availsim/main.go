@@ -19,6 +19,7 @@ import (
 	"dynvote/internal/algset"
 	"dynvote/internal/experiment"
 	"dynvote/internal/metrics"
+	"dynvote/internal/profile"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("availsim", flag.ContinueOnError)
 	var (
 		alg     = fs.String("alg", "ykd", "algorithm: ykd, ykd-unopt, dfls, 1-pending, mr1p, simple-majority")
@@ -42,10 +43,25 @@ func run(args []string) error {
 		sizes   = fs.Bool("sizes", false, "measure message sizes (slower)")
 		check   = fs.Bool("check", false, "run safety checker during every run")
 		mout    = fs.String("metrics-out", "", "write a machine-readable JSON run report (results + metrics snapshot) to this file")
+		workers = fs.Int("workers", 0, "run worker budget (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers != 0 {
+		experiment.SetParallelism(*workers)
+	}
+	stopProfile, err := profile.Start(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	factory, err := algset.ByName(*alg)
 	if err != nil {

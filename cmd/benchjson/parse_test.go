@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dynvote
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkSingleRun 	     714	   1680321 ns/op	  520958 B/op	    2660 allocs/op
+BenchmarkFig4_2FreshStart6Changes-8 	       2	 612345678 ns/op
+BenchmarkWithCustom 	     100	      1234 ns/op	        42.5 views/run
+PASS
+ok  	dynvote	3.456s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Fatalf("context lines not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSingleRun" || b.Package != "dynvote" {
+		t.Errorf("bad name/package: %+v", b)
+	}
+	if b.Iterations != 714 || b.NsPerOp != 1680321 || b.BytesPerOp != 520958 || b.AllocsPerOp != 2660 {
+		t.Errorf("bad metrics: %+v", b)
+	}
+
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkFig4_2FreshStart6Changes-8" {
+		t.Errorf("GOMAXPROCS suffix should be preserved, got %q", got)
+	}
+
+	custom := rep.Benchmarks[2]
+	if custom.Extra["views/run"] != 42.5 {
+		t.Errorf("custom unit not captured: %+v", custom)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("ok  \tdynvote\t0.1s\n--- SKIP: BenchmarkX\nBenchmarkBroken notanumber\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("expected no benchmarks, got %+v", rep.Benchmarks)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"dynvote/internal/experiment"
 	"dynvote/internal/metrics"
 	"dynvote/internal/plot"
+	"dynvote/internal/profile"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
 		runs    = fs.Int("runs", 1000, "runs per case (thesis: 1000)")
@@ -51,10 +52,25 @@ func run(args []string) error {
 		noext   = fs.Bool("figures-only", false, "skip the in-text measurements")
 		verbose = fs.Bool("v", false, "per-case progress on stderr")
 		mout    = fs.String("metrics-out", "", "write a machine-readable JSON run report (results + metrics snapshot) to this file")
+		workers = fs.Int("workers", 0, "sweep/run worker budget (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers != 0 {
+		experiment.SetParallelism(*workers)
+	}
+	stopProfile, err := profile.Start(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opts := experiment.Options{Procs: *procs, Runs: *runs, Seed: *seed}
 	if *rates != "" {

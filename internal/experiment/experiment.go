@@ -134,13 +134,28 @@ func RunCase(spec CaseSpec) (CaseResult, error) {
 			record(r)
 		}
 	default: // FreshStart
+		// Fresh-start runs are independent by construction: each gets
+		// its own driver and a per-run source derived from the (spec,
+		// run) label alone, so they can execute on any goroutine in
+		// any order. Sources are derived up front in run order and
+		// results merged back in run order, which keeps every
+		// aggregate bit-identical to sequential execution no matter
+		// how many workers the shared budget grants.
+		results := make([]sim.RunResult, spec.Runs)
+		errs := make([]error, spec.Runs)
+		srcs := make([]*rng.Source, spec.Runs)
+		for run := range srcs {
+			srcs[run] = runSeed(root, spec, run)
+		}
+		parallelDo(spec.Runs, func(run int) {
+			d := sim.NewDriver(spec.Factory, spec.config(), srcs[run])
+			results[run], errs[run] = d.Run()
+		})
 		for run := 0; run < spec.Runs; run++ {
-			d := sim.NewDriver(spec.Factory, spec.config(), runSeed(root, spec, run))
-			r, err := d.Run()
-			if err != nil {
-				return res, fmt.Errorf("%s fresh run %d: %w", spec.Factory.Name, run, err)
+			if errs[run] != nil {
+				return res, fmt.Errorf("%s fresh run %d: %w", spec.Factory.Name, run, errs[run])
 			}
-			record(r)
+			record(results[run])
 		}
 	}
 	return res, nil
@@ -168,28 +183,57 @@ func (p PairedResult) FirstAdvantagePercent() float64 {
 
 // RunPaired runs two algorithms over the same random sequences and
 // tallies run-by-run agreement. The spec's Factory field is ignored.
+//
+// Runs are sharded across the shared worker budget like fresh-start
+// RunCase; both arms of one run stay on the same worker (they are a
+// single comparison), and the tally is merged in run order, identical
+// to sequential execution.
 func RunPaired(first, second core.Factory, spec CaseSpec) (PairedResult, error) {
 	var out PairedResult
 	root := rng.New(spec.Seed)
-	for run := 0; run < spec.Runs; run++ {
-		formed := make([]bool, 2)
-		for i, f := range []core.Factory{first, second} {
+	factories := [2]core.Factory{first, second}
+	type outcome struct {
+		formed [2]bool
+		err    error
+	}
+	outcomes := make([]outcome, spec.Runs)
+	srcs := make([][2]*rng.Source, spec.Runs)
+	for run := range srcs {
+		for i, f := range factories {
+			// runSeed deliberately ignores the factory — both arms
+			// replay the same draws — but each arm needs its own
+			// source instance to iterate.
 			s := spec
 			s.Factory = f
-			d := sim.NewDriver(f, s.config(), runSeed(root, s, run))
+			srcs[run][i] = runSeed(root, s, run)
+		}
+	}
+	parallelDo(spec.Runs, func(run int) {
+		o := &outcomes[run]
+		for i, f := range factories {
+			s := spec
+			s.Factory = f
+			d := sim.NewDriver(f, s.config(), srcs[run][i])
 			r, err := d.Run()
 			if err != nil {
-				return out, fmt.Errorf("%s paired run %d: %w", f.Name, run, err)
+				o.err = fmt.Errorf("%s paired run %d: %w", f.Name, run, err)
+				return
 			}
-			formed[i] = r.PrimaryFormed
+			o.formed[i] = r.PrimaryFormed
+		}
+	})
+	for run := 0; run < spec.Runs; run++ {
+		o := outcomes[run]
+		if o.err != nil {
+			return out, o.err
 		}
 		out.Runs++
 		switch {
-		case formed[0] && formed[1]:
+		case o.formed[0] && o.formed[1]:
 			out.Both++
-		case formed[0]:
+		case o.formed[0]:
 			out.OnlyFirst++
-		case formed[1]:
+		case o.formed[1]:
 			out.OnlySecond++
 		default:
 			out.Neither++

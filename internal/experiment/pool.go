@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment layer parallelizes at two granularities — RunSweep
+// spreads (algorithm, rate) cells across CPUs, and RunCase/RunPaired
+// spread independent fresh-start runs — and both can be active at
+// once (a sweep's cells call RunCase). One shared helper budget keeps
+// the combined concurrency at the configured level instead of
+// multiplying the two layers: every parallelDo caller works on its
+// own goroutine unconditionally, and extra goroutines join only while
+// a budget token is free. A nested parallelDo therefore never spawns
+// beyond what the outer level left unused, and — because tokens are
+// only ever tried, never waited for — the scheme cannot deadlock.
+
+// workerBudget is the shared helper-token pool. The default budget of
+// GOMAXPROCS-1 helpers plus the caller's goroutine saturates the
+// machine without over-subscribing it.
+var workerBudget = newTokenPool(runtime.GOMAXPROCS(0) - 1)
+
+// Parallelism returns the configured total worker count (helpers + the
+// calling goroutine).
+func Parallelism() int { return int(workerBudget.size.Load()) + 1 }
+
+// SetParallelism bounds the number of concurrent workers the
+// experiment package uses across RunSweep, RunCase and RunPaired
+// combined: n-1 helper goroutines plus the calling goroutine. n ≤ 1
+// disables helpers entirely, forcing fully sequential execution —
+// results are identical either way (see the determinism tests); only
+// wall-clock time changes. n ≤ 0 restores the default (GOMAXPROCS).
+// Must not be called while experiment work is in flight.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	workerBudget = newTokenPool(n - 1)
+}
+
+// tokenPool hands out helper tokens without ever blocking.
+type tokenPool struct {
+	size atomic.Int64 // configured helper count, for introspection
+	free atomic.Int64
+}
+
+func newTokenPool(n int) *tokenPool {
+	if n < 0 {
+		n = 0
+	}
+	p := &tokenPool{}
+	p.size.Store(int64(n))
+	p.free.Store(int64(n))
+	return p
+}
+
+// tryAcquire takes a token if one is free; it never waits.
+func (p *tokenPool) tryAcquire() bool {
+	for {
+		n := p.free.Load()
+		if n <= 0 {
+			return false
+		}
+		if p.free.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func (p *tokenPool) release() { p.free.Add(1) }
+
+// parallelDo runs fn(0), ..., fn(n-1), distributing indices over the
+// calling goroutine plus however many helpers the shared budget
+// currently allows, and returns once all have completed. fn must be
+// safe for concurrent invocation from multiple goroutines; index
+// assignment order is unspecified, so callers needing deterministic
+// output must write into per-index slots and merge afterwards.
+func parallelDo(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	pool := workerBudget
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1 && pool.tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pool.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelDoCoversEveryIndex(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 3, 8} {
+		SetParallelism(workers)
+		const n = 100
+		var hits [n]atomic.Int32
+		parallelDo(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelDoZeroAndOne(t *testing.T) {
+	parallelDo(0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	parallelDo(1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+func TestTokenPoolBudget(t *testing.T) {
+	p := newTokenPool(2)
+	if !p.tryAcquire() || !p.tryAcquire() {
+		t.Fatal("two tokens should be available")
+	}
+	if p.tryAcquire() {
+		t.Fatal("third acquire should fail")
+	}
+	p.release()
+	if !p.tryAcquire() {
+		t.Fatal("released token should be reusable")
+	}
+}
+
+func TestSetParallelismBounds(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(5)
+	if got := Parallelism(); got != 5 {
+		t.Fatalf("Parallelism() = %d, want 5", got)
+	}
+	SetParallelism(1)
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() = %d, want 1", got)
+	}
+	if workerBudget.tryAcquire() {
+		t.Fatal("parallelism 1 must grant no helper tokens")
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after reset, want >= 1", got)
+	}
+}

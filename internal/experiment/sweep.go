@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -75,7 +74,11 @@ func RunSweep(spec SweepSpec) ([]Series, error) {
 		series[a] = Series{Algorithm: f.Name, Points: make([]CaseResult, len(spec.Rates))}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	// Cells share the experiment-wide worker budget with the run-level
+	// parallelism inside each RunCase: when cases parallelize their
+	// own runs, the sweep does not over-subscribe the machine by
+	// stacking a second GOMAXPROCS-wide pool on top.
+	workers := Parallelism()
 	if workers > len(cells) {
 		workers = len(cells)
 	}
@@ -85,54 +88,43 @@ func RunSweep(spec SweepSpec) ([]Series, error) {
 	var (
 		mu       sync.Mutex
 		firstErr error
-		next     int
-		wg       sync.WaitGroup
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(cells) {
-					mu.Unlock()
-					return
-				}
-				c := cells[next]
-				next++
-				mu.Unlock()
+	parallelDo(len(cells), func(i int) {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			return // a cell failed; don't start new ones
+		}
+		c := cells[i]
+		cs := CaseSpec{
+			Factory:      spec.Factories[c.alg],
+			Procs:        spec.Procs,
+			Changes:      spec.Changes,
+			MeanRounds:   spec.Rates[c.rate],
+			Runs:         spec.Runs,
+			Mode:         spec.Mode,
+			Seed:         spec.Seed,
+			MeasureSizes: spec.MeasureSizes,
+			Metrics:      spec.Metrics,
+		}
+		caseStart := time.Now()
+		res, err := RunCase(cs)
+		sm.seconds.Observe(time.Since(caseStart).Seconds())
+		sm.cases.Inc()
 
-				cs := CaseSpec{
-					Factory:      spec.Factories[c.alg],
-					Procs:        spec.Procs,
-					Changes:      spec.Changes,
-					MeanRounds:   spec.Rates[c.rate],
-					Runs:         spec.Runs,
-					Mode:         spec.Mode,
-					Seed:         spec.Seed,
-					MeasureSizes: spec.MeasureSizes,
-					Metrics:      spec.Metrics,
-				}
-				caseStart := time.Now()
-				res, err := RunCase(cs)
-				sm.seconds.Observe(time.Since(caseStart).Seconds())
-				sm.cases.Inc()
-
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				} else {
-					series[c.alg].Points[c.rate] = res
-				}
-				mu.Unlock()
-				if err == nil {
-					progress.caseDone(fmt.Sprintf("%-16s rate=%-5.1f %s",
-						res.Algorithm, res.MeanRounds, res.Availability))
-				}
-			}
-		}()
-	}
-	wg.Wait()
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		} else {
+			series[c.alg].Points[c.rate] = res
+		}
+		mu.Unlock()
+		if err == nil {
+			progress.caseDone(fmt.Sprintf("%-16s rate=%-5.1f %s",
+				res.Algorithm, res.MeanRounds, res.Availability))
+		}
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -265,3 +265,25 @@ func BenchmarkIntersectCount64(b *testing.B) {
 		_ = x.IntersectCount(y)
 	}
 }
+
+// TestSmallSetOpsAllocationFree pins the inline fast path: every set
+// operation on sets of ≤64 processes must stay off the heap. This is
+// the perf contract the simulator's hot loop depends on.
+func TestSmallSetOpsAllocationFree(t *testing.T) {
+	a := NewSet(0, 3, 17, 42, 63)
+	b := NewSet(3, 5, 42, 60)
+	var sink Set
+	var n int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = a.With(7).Without(3).Union(b).Intersect(a).Diff(b)
+		n += sink.Count()
+		if a.Contains(5) || !a.SubsetOf(a) {
+			t.Fatal("wrong set algebra")
+		}
+		a.ForEach(func(id ID) { n += int(id) })
+	})
+	if allocs != 0 {
+		t.Errorf("small-set ops allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,52 @@
+// Package profile provides offline pprof file capture for the
+// experiment CLIs. examples/livecluster serves live profiles over
+// HTTP; batch tools like cmd/figures and cmd/availsim have no server,
+// so they write profile files instead — the standard workflow for
+// profiling a full-resolution sweep.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for an allocation
+// profile at memPath; either path may be empty to skip that profile.
+// It returns a stop function that must be called exactly once
+// (typically deferred) to finish the CPU profile and write the heap
+// profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

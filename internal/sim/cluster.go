@@ -54,6 +54,16 @@ type Cluster struct {
 	crashed   proc.Set           // fail-stopped processes: no polls, no deliveries
 	snapshots map[proc.ID][]byte // durable state captured at crash time
 
+	// Hot-path scratch storage. A run delivers hundreds of thousands
+	// of envelopes; recycling them (and the per-view recipient lists)
+	// keeps the steady-state delivery loop allocation-free.
+	free          []*envelope // recycled envelopes with reusable recipient slices
+	recipBase     [][]proc.ID // per-sender members-minus-sender, ascending order
+	recipView     []int64     // view ID each recipBase entry was built for (-1: none)
+	memberScratch []proc.ID   // IssueViews shuffle buffer
+	viewsSeen     map[int64]bool
+	viewsOut      []view.View
+
 	// Drop, when non-nil, filters individual deliveries (tests only).
 	Drop DropFilter
 
@@ -83,15 +93,19 @@ type Cluster struct {
 func NewCluster(factory core.Factory, n int) *Cluster {
 	initial := view.View{ID: 0, Members: proc.Universe(n)}
 	c := &Cluster{
-		factory: factory,
-		n:       n,
-		algs:    make([]core.Algorithm, n),
-		cur:     make([]view.View, n),
-		queues:  make([][]*envelope, n),
+		factory:   factory,
+		n:         n,
+		algs:      make([]core.Algorithm, n),
+		cur:       make([]view.View, n),
+		queues:    make([][]*envelope, n),
+		recipBase: make([][]proc.ID, n),
+		recipView: make([]int64, n),
 	}
 	for i := 0; i < n; i++ {
 		c.algs[i] = factory.New(proc.ID(i), initial)
 		c.cur[i] = initial
+		c.recipBase[i] = make([]proc.ID, 0, n-1)
+		c.recipView[i] = -1
 	}
 	return c
 }
@@ -122,12 +136,15 @@ func (c *Cluster) Crash(p proc.ID) {
 			c.snapshots[p] = data
 		}
 	}
-	// Discard the crashed process's undelivered broadcasts.
-	for len(c.queues[p]) > 0 {
-		env := c.queues[p][0]
+	// Discard the crashed process's undelivered broadcasts, nilling
+	// the queue slots so the backing array does not pin the discarded
+	// envelopes (and their messages) for the rest of the run.
+	for i, env := range c.queues[p] {
 		c.pending -= len(env.recipients) - env.next
-		c.queues[p] = c.queues[p][1:]
+		c.releaseEnvelope(env)
+		c.queues[p][i] = nil
 	}
+	c.queues[p] = c.queues[p][:0]
 	for i, s := range c.active {
 		if s == int(p) {
 			c.active[i] = c.active[len(c.active)-1]
@@ -172,10 +189,11 @@ func (c *Cluster) Recover(p proc.ID) error {
 // messages sent in the old views are tagged correctly.
 func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
 	installed := 0
+	members := c.memberScratch
 	for _, v := range views {
 		// Deliver the view to members in random order: the relative
 		// timing of view callbacks is not part of the model.
-		members := v.Members.Members()
+		members = v.Members.AppendMembers(members[:0])
 		r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 		for _, p := range members {
 			if c.crashed.Contains(p) {
@@ -189,6 +207,7 @@ func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
 			}
 		}
 	}
+	c.memberScratch = members
 	c.Metrics.observeViews(installed)
 }
 
@@ -212,21 +231,22 @@ func (c *Cluster) Collect(r *rng.Source) int {
 					c.Bytes(len(b))
 				}
 			}
-			recipients := recipientsOf(v.Members, proc.ID(p))
-			if len(recipients) == 0 {
+			base := c.recipientsOf(v, proc.ID(p))
+			if len(base) == 0 {
 				continue // broadcast in a singleton view reaches nobody
 			}
+			env := c.newEnvelope()
+			env.viewID = v.ID
+			env.msg = m
+			recipients := append(env.recipients[:0], base...)
 			r.Shuffle(len(recipients), func(i, j int) {
 				recipients[i], recipients[j] = recipients[j], recipients[i]
 			})
+			env.recipients = recipients
 			if len(c.queues[p]) == 0 {
 				c.active = append(c.active, p)
 			}
-			c.queues[p] = append(c.queues[p], &envelope{
-				viewID:     v.ID,
-				msg:        m,
-				recipients: recipients,
-			})
+			c.queues[p] = append(c.queues[p], env)
 			added += len(recipients)
 		}
 	}
@@ -234,14 +254,45 @@ func (c *Cluster) Collect(r *rng.Source) int {
 	return added
 }
 
-func recipientsOf(members proc.Set, sender proc.ID) []proc.ID {
-	out := make([]proc.ID, 0, members.Count()-1)
-	members.ForEach(func(q proc.ID) {
+// recipientsOf returns sender's current broadcast recipient list
+// (view members minus the sender, ascending). The list is cached per
+// sender and rebuilt only when the sender's view changes — view IDs
+// are unique, so an ID match guarantees identical membership. The
+// returned slice is owned by the cache; callers must copy before
+// reordering it.
+func (c *Cluster) recipientsOf(v view.View, sender proc.ID) []proc.ID {
+	s := int(sender)
+	if c.recipView[s] == v.ID {
+		return c.recipBase[s]
+	}
+	buf := c.recipBase[s][:0]
+	v.Members.ForEach(func(q proc.ID) {
 		if q != sender {
-			out = append(out, q)
+			buf = append(buf, q)
 		}
 	})
-	return out
+	c.recipBase[s] = buf
+	c.recipView[s] = v.ID
+	return buf
+}
+
+// newEnvelope takes an envelope off the free list, or allocates one.
+func (c *Cluster) newEnvelope() *envelope {
+	if n := len(c.free); n > 0 {
+		env := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		env.next = 0
+		return env
+	}
+	return &envelope{}
+}
+
+// releaseEnvelope recycles a fully delivered (or discarded) envelope,
+// dropping its message reference so the pool pins no payloads.
+func (c *Cluster) releaseEnvelope(env *envelope) {
+	env.msg = nil
+	c.free = append(c.free, env)
 }
 
 // PendingDeliveries returns the number of undelivered (envelope,
@@ -269,8 +320,10 @@ func (c *Cluster) DeliverOne(r *rng.Source) bool {
 	env.next++
 	c.pending--
 
-	if env.done() {
+	done := env.done()
+	if done {
 		copy(q, q[1:])
+		q[len(q)-1] = nil
 		q = q[:len(q)-1]
 		c.queues[sender] = q
 		if len(q) == 0 {
@@ -279,24 +332,27 @@ func (c *Cluster) DeliverOne(r *rng.Source) bool {
 		}
 	}
 
-	if c.crashed.Contains(to) {
+	switch {
+	case c.crashed.Contains(to):
+		// Dropped: recipient is gone.
 		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "crashed")
-		return true // dropped: recipient is gone
-	}
-	if c.cur[to].ID != env.viewID {
+	case c.cur[to].ID != env.viewID:
+		// Dropped: recipient left the view (view-synchronous semantics).
 		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "view changed")
-		return true // dropped: recipient left the view
-	}
-	if c.Drop != nil && c.Drop(proc.ID(sender), to, env.msg) {
+	case c.Drop != nil && c.Drop(proc.ID(sender), to, env.msg):
+		// Dropped by the test's filter.
 		c.Metrics.observeDelivery(false)
 		c.traceDelivery(trace.KindDrop, sender, to, env, "filtered")
-		return true // dropped by the test's filter
+	default:
+		c.algs[to].Deliver(proc.ID(sender), env.msg)
+		c.Metrics.observeDelivery(true)
+		c.traceDelivery(trace.KindDeliver, sender, to, env, "")
 	}
-	c.algs[to].Deliver(proc.ID(sender), env.msg)
-	c.Metrics.observeDelivery(true)
-	c.traceDelivery(trace.KindDeliver, sender, to, env, "")
+	if done {
+		c.releaseEnvelope(env)
+	}
 	return true
 }
 
@@ -351,19 +407,26 @@ func (c *Cluster) RunToQuiescence(r *rng.Source, maxRounds int) (int, error) {
 func (c *Cluster) Quiescent() bool { return c.pending == 0 }
 
 // CurrentViews returns the distinct current views, i.e. the network
-// components as the processes perceive them.
+// components as the processes perceive them. The returned slice is
+// reused by the next CurrentViews call: it is valid until then, which
+// covers every checker-style caller that iterates it immediately.
 func (c *Cluster) CurrentViews() []view.View {
-	seen := make(map[int64]bool, 4)
-	var out []view.View
+	if c.viewsSeen == nil {
+		c.viewsSeen = make(map[int64]bool, 8)
+	} else {
+		clear(c.viewsSeen)
+	}
+	out := c.viewsOut[:0]
 	for p := 0; p < c.n; p++ {
 		if c.crashed.Contains(proc.ID(p)) {
 			continue
 		}
 		v := c.cur[p]
-		if !seen[v.ID] {
-			seen[v.ID] = true
+		if !c.viewsSeen[v.ID] {
+			c.viewsSeen[v.ID] = true
 			out = append(out, v)
 		}
 	}
+	c.viewsOut = out
 	return out
 }

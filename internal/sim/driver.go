@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"dynvote/internal/core"
 	"dynvote/internal/metrics"
@@ -135,6 +134,7 @@ type Driver struct {
 
 	schedule       Schedule
 	metrics        *Metrics
+	strikes        []int // per-round change positions, reused across rounds
 	crashDone      bool
 	recoverDone    bool
 	victim         proc.ID
@@ -204,12 +204,15 @@ func (d *Driver) Run() (RunResult, error) {
 		// uniformly random delivery step, possibly interrupting an
 		// attempt mid-protocol.
 		burst := d.schedule.Burst(d.rng, res.Rounds, remaining)
-		strikes := make([]int, burst)
+		strikes := d.strikes[:0]
 		total := d.cluster.PendingDeliveries()
-		for i := range strikes {
-			strikes[i] = d.rng.Intn(total + 1)
+		for i := 0; i < burst; i++ {
+			strikes = append(strikes, d.rng.Intn(total+1))
 		}
-		sort.Ints(strikes)
+		// Bursts are tiny (geometric, almost always 0-3 entries):
+		// insertion sort beats sort.Ints and allocates nothing.
+		insertionSort(strikes)
+		d.strikes = strikes
 
 		injected := false
 		next := 0
@@ -367,6 +370,15 @@ func (d *Driver) traceChange(what string, ch netsim.Change) {
 		Kind:   trace.KindChange,
 		Detail: fmt.Sprintf("%s #%d: %d new views", what, d.changesApplied, len(ch.NewViews)),
 	})
+}
+
+// insertionSort sorts a (tiny) int slice in place ascending.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 func (d *Driver) ambiguousAt(p proc.ID) int {

@@ -134,6 +134,15 @@ type Algorithm struct {
 	out            []core.Message
 
 	scratch map[view.SessionKey]view.Session // DECIDE dedup, reused
+
+	// appliedFormed remembers the last few formed-session reports
+	// fully applied by acceptFormed. During a state exchange every
+	// member re-reports the same handful of sessions, and lastFormed
+	// entries only ever rise, so re-applying a cached session is a
+	// provable no-op — the cache turns the n-member ACCEPT scan into
+	// a few word compares for the common repeat.
+	appliedFormed [4]view.Session
+	appliedNext   int
 }
 
 type early struct {
@@ -446,6 +455,11 @@ func (a *Algorithm) acceptFormed(s view.Session) {
 	if !s.Contains(a.self) {
 		return
 	}
+	for _, c := range a.appliedFormed {
+		if c.Number == s.Number && c.Members.Equal(s.Members) {
+			return // already applied; entries only rise, so this is a no-op
+		}
+	}
 	if s.Number > a.lastPrimary.Number {
 		a.lastPrimary = s
 	}
@@ -454,6 +468,8 @@ func (a *Algorithm) acceptFormed(s view.Session) {
 			a.lastFormed[q] = s
 		}
 	})
+	a.appliedFormed[a.appliedNext] = s
+	a.appliedNext = (a.appliedNext + 1) % len(a.appliedFormed)
 }
 
 func (a *Algorithm) recordAttempt(from proc.ID, s view.Session) {
