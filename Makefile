@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 2
+BENCH_N ?= 3
 
-# check is the tier-1 gate: formatting, vet, build, full test suite.
-check: fmt vet build test
+# check is the tier-1 gate: formatting, vet, build, full test suite,
+# plus the allocation guards and a short race pass over the reset
+# determinism tests (the two properties the run-reuse lifecycle must
+# never lose silently).
+check: fmt vet build test alloc-guard race-reset
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,3 +42,22 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json
 	@echo "wrote BENCH_$(BENCH_N).json"
+
+# bench-compare re-runs the benchmark suite and diffs it against the
+# committed BENCH_$(BENCH_N).json: per-benchmark ns/op, B/op and
+# allocs/op deltas, non-zero exit when allocs/op regressed beyond the
+# tolerance (see cmd/benchjson).
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_$(BENCH_N).json
+
+# alloc-guard pins the allocation-free hot paths: the steady-state
+# collect/deliver loop and the Driver.Reset lifecycle.
+alloc-guard:
+	$(GO) test -run 'AllocFree' -count 1 ./internal/sim/
+
+# race-reset runs the reset-vs-fresh golden tests under the race
+# detector: the per-worker driver reuse in the experiment layer must
+# stay data-race-free at any worker count.
+race-reset:
+	$(GO) test -race -run 'ResetVsFresh' -count 1 ./internal/sim/ ./internal/experiment/

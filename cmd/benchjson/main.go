@@ -5,6 +5,13 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_2.json
+//
+// With -baseline it additionally compares the fresh results against a
+// committed report, printing per-benchmark deltas (ns/op, B/op,
+// allocs/op) and exiting non-zero when any benchmark's allocs/op grew
+// by more than -tolerance percent:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline BENCH_2.json
 package main
 
 import (
@@ -24,7 +31,9 @@ func main() {
 
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	out := fs.String("o", "", "output file (default stdout)")
+	out := fs.String("o", "", "output file (default stdout; compare mode prints deltas instead)")
+	baseline := fs.String("baseline", "", "committed BENCH_<n>.json to diff against; exits non-zero on regression")
+	tolerance := fs.Float64("tolerance", 2, "allowed allocs/op growth percentage in compare mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,14 +46,31 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark result lines found on stdin")
 	}
 
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
 	}
-	buf = append(buf, '\n')
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			return err
+		}
+		return compareReports(base, report, *tolerance, stdout)
+	}
 	if *out == "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
 		_, err = stdout.Write(buf)
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
+	return nil
 }

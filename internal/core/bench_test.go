@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+	"dynvote/internal/ykd"
+)
+
+// steady is an algorithm stub with permanent outbound traffic: every
+// Poll returns the same (immutable) messages, modeling a node whose
+// algorithm speaks on each application send — the worst case for the
+// piggyback path. Reusing one slice is legal under the Poll contract
+// (valid until the next Poll).
+type steady struct {
+	out []core.Message
+}
+
+func (s *steady) Name() string                  { return "steady" }
+func (s *steady) ViewChange(view.View)          {}
+func (s *steady) Deliver(proc.ID, core.Message) {}
+func (s *steady) Poll() []core.Message          { return s.out }
+func (s *steady) InPrimary() bool               { return true }
+
+// BenchmarkPiggybackOutgoing measures the per-message send path a live
+// GCS node drives on every application broadcast (gcs.Node bundles via
+// Piggyback.Outgoing): two pending algorithm messages plus an
+// application payload. The bundle buffer is owned by the Piggyback and
+// reused across calls, so steady-state cost is the encoding alone.
+func BenchmarkPiggybackOutgoing(b *testing.B) {
+	alg := &steady{out: []core.Message{attemptMsg(7), attemptMsg(8)}}
+	pb := core.NewPiggyback(alg, ykd.Codec{})
+	app := []byte("application payload bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, send, err := pb.Outgoing(app); err != nil || !send {
+			b.Fatalf("Outgoing = %v, %v", send, err)
+		}
+	}
+}
+
+// BenchmarkPiggybackRoundTrip adds the receive side: the bundle is
+// unpacked, algorithm messages delivered, payload returned.
+func BenchmarkPiggybackRoundTrip(b *testing.B) {
+	sender := core.NewPiggyback(&steady{out: []core.Message{attemptMsg(7)}}, ykd.Codec{})
+	receiver := core.NewPiggyback(&steady{}, ykd.Codec{})
+	app := []byte("application payload bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, _, err := sender.Outgoing(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := receiver.Incoming(1, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

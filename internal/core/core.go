@@ -60,7 +60,10 @@ type Algorithm interface {
 	Deliver(from proc.ID, m Message)
 	// Poll returns the broadcasts the algorithm wants sent to its
 	// current view, in order. It drains the send queue: a second call
-	// without intervening events returns nil.
+	// without intervening events returns nil. The returned slice may
+	// be recycled by the algorithm and is only valid until the next
+	// Poll; the Messages inside it remain immutable and may be
+	// retained indefinitely.
 	Poll() []Message
 	// InPrimary reports whether this process currently belongs to the
 	// live primary component.
@@ -80,6 +83,25 @@ type AmbiguousReporter interface {
 // while InPrimary is true.
 type PrimaryReporter interface {
 	PrimaryMembers() proc.Set
+}
+
+// Resetter is implemented by algorithms that can restore themselves to
+// their just-constructed state in place, without reallocating internal
+// storage. Reset(self, initial) must leave the instance observably
+// identical to Factory.New(self, initial): same durable state, same
+// protocol phase, an empty send queue — while retained maps and slices
+// (cleared, truncated) keep their capacity. Hosts that execute many
+// independent runs (the fresh-start experiment sweeps) use it to
+// amortize construction: one simulation stack per worker, reset
+// between runs instead of rebuilt.
+//
+// Reset must be exact: a run executed on a reset instance must be
+// bit-identical to the same run on a fresh one (see the reset-vs-fresh
+// golden tests). Anything observable — durable state, pending
+// sessions, snapshot-restorable state — must be cleared; only
+// invisible capacity may be retained.
+type Resetter interface {
+	Reset(self proc.ID, initial view.View)
 }
 
 // Snapshotter is implemented by algorithms whose durable state can be
@@ -121,6 +143,11 @@ type Factory struct {
 type Piggyback struct {
 	alg   Algorithm
 	codec Codec
+	// w is the reused encode buffer: one bundle per Outgoing call, in
+	// place. Outgoing is the per-message hot path of a live node, so
+	// re-allocating the writer (and growing it from empty) per call
+	// would dominate the send side.
+	w wire.Writer
 }
 
 // NewPiggyback wraps alg, whose messages are encoded with codec.
@@ -143,27 +170,31 @@ func (pb *Piggyback) Algorithm() Algorithm { return pb.alg }
 // application payload. It returns (nil, false) when there is nothing
 // to send at all — no algorithm traffic and no application payload.
 // This is the thesis's outgoingMessagePoll.
+//
+// The returned bundle aliases a buffer owned by the Piggyback and is
+// only valid until the next Outgoing call; callers that need to keep
+// it (or send it asynchronously) must copy.
 func (pb *Piggyback) Outgoing(app []byte) ([]byte, bool, error) {
 	msgs := pb.alg.Poll()
 	if len(msgs) == 0 && app == nil {
 		return nil, false, nil
 	}
-	var w wire.Writer
-	w.Uvarint(uint64(len(msgs)))
+	pb.w.Reset()
+	pb.w.Uvarint(uint64(len(msgs)))
 	for _, m := range msgs {
 		b, err := pb.codec.Encode(m)
 		if err != nil {
 			return nil, false, fmt.Errorf("piggyback encode: %w", err)
 		}
-		w.RawBytes(b)
+		pb.w.RawBytes(b)
 	}
 	if app != nil {
-		w.Bool(true)
-		w.RawBytes(app)
+		pb.w.Bool(true)
+		pb.w.RawBytes(app)
 	} else {
-		w.Bool(false)
+		pb.w.Bool(false)
 	}
-	return w.Bytes(), true, nil
+	return pb.w.Bytes(), true, nil
 }
 
 // Incoming unbundles a payload produced by Outgoing: algorithm

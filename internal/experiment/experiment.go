@@ -99,24 +99,27 @@ func (spec CaseSpec) config() sim.Config {
 	}
 }
 
+// record folds one run's result into the aggregate. Recording in run
+// order is part of the determinism contract: histograms and trackers
+// accumulate identically no matter which worker produced the run.
+func (res *CaseResult) record(r sim.RunResult) {
+	res.Availability.Record(r.PrimaryFormed)
+	res.Stable.Add(r.AmbiguousAtEnd)
+	for _, n := range r.AmbiguousAtChanges {
+		res.InProgress.Add(n)
+	}
+	if r.ReformRounds >= 0 {
+		res.Reform.Add(r.ReformRounds)
+	} else {
+		res.NeverReformed++
+	}
+	res.Sizes.Record(r.MaxMessageBytes, r.MaxRoundBytes)
+}
+
 // RunCase executes one measurement cell.
 func RunCase(spec CaseSpec) (CaseResult, error) {
 	res := CaseResult{Algorithm: spec.Factory.Name, MeanRounds: spec.MeanRounds}
 	root := rng.New(spec.Seed)
-
-	record := func(r sim.RunResult) {
-		res.Availability.Record(r.PrimaryFormed)
-		res.Stable.Add(r.AmbiguousAtEnd)
-		for _, n := range r.AmbiguousAtChanges {
-			res.InProgress.Add(n)
-		}
-		if r.ReformRounds >= 0 {
-			res.Reform.Add(r.ReformRounds)
-		} else {
-			res.NeverReformed++
-		}
-		res.Sizes.Record(r.MaxMessageBytes, r.MaxRoundBytes)
-	}
 
 	switch spec.Mode {
 	case Cascading:
@@ -131,31 +134,46 @@ func RunCase(spec CaseSpec) (CaseResult, error) {
 			if err != nil {
 				return res, fmt.Errorf("%s cascading run %d: %w", spec.Factory.Name, run, err)
 			}
-			record(r)
+			res.record(r)
 		}
 	default: // FreshStart
 		// Fresh-start runs are independent by construction: each gets
-		// its own driver and a per-run source derived from the (spec,
-		// run) label alone, so they can execute on any goroutine in
-		// any order. Sources are derived up front in run order and
-		// results merged back in run order, which keeps every
-		// aggregate bit-identical to sequential execution no matter
-		// how many workers the shared budget grants.
+		// a per-run source derived from the (spec, run) label alone,
+		// so they can execute on any goroutine in any order. Sources
+		// are derived up front in run order and results merged back in
+		// run order, which keeps every aggregate bit-identical to
+		// sequential execution no matter how many workers the shared
+		// budget grants.
+		//
+		// Each worker builds ONE driver and resets it between the runs
+		// it picks up: run construction — cluster, topology, 64
+		// algorithm instances with their maps — used to dominate the
+		// sweep's allocation profile once the delivery loop went
+		// allocation-free. Reset is bit-identical to rebuild (see the
+		// reset-vs-fresh golden tests), so the reuse is invisible in
+		// the results.
 		results := make([]sim.RunResult, spec.Runs)
 		errs := make([]error, spec.Runs)
 		srcs := make([]*rng.Source, spec.Runs)
 		for run := range srcs {
 			srcs[run] = runSeed(root, spec, run)
 		}
-		parallelDo(spec.Runs, func(run int) {
-			d := sim.NewDriver(spec.Factory, spec.config(), srcs[run])
+		drivers := make([]*sim.Driver, min(spec.Runs, Parallelism()))
+		parallelWorkers(spec.Runs, func(worker, run int) {
+			d := drivers[worker]
+			if d == nil {
+				d = sim.NewDriver(spec.Factory, spec.config(), srcs[run])
+				drivers[worker] = d
+			} else {
+				d.Reset(srcs[run])
+			}
 			results[run], errs[run] = d.Run()
 		})
 		for run := 0; run < spec.Runs; run++ {
 			if errs[run] != nil {
 				return res, fmt.Errorf("%s fresh run %d: %w", spec.Factory.Name, run, errs[run])
 			}
-			record(results[run])
+			res.record(results[run])
 		}
 	}
 	return res, nil
@@ -208,12 +226,22 @@ func RunPaired(first, second core.Factory, spec CaseSpec) (PairedResult, error) 
 			srcs[run][i] = runSeed(root, s, run)
 		}
 	}
-	parallelDo(spec.Runs, func(run int) {
+	// One driver pair per worker, reset between runs — the same
+	// construction-amortizing reuse as fresh-start RunCase, kept
+	// per-arm so each algorithm's stack is recycled with itself.
+	drivers := make([][2]*sim.Driver, min(spec.Runs, Parallelism()))
+	parallelWorkers(spec.Runs, func(worker, run int) {
 		o := &outcomes[run]
 		for i, f := range factories {
-			s := spec
-			s.Factory = f
-			d := sim.NewDriver(f, s.config(), srcs[run][i])
+			d := drivers[worker][i]
+			if d == nil {
+				s := spec
+				s.Factory = f
+				d = sim.NewDriver(f, s.config(), srcs[run][i])
+				drivers[worker][i] = d
+			} else {
+				d.Reset(srcs[run][i])
+			}
 			r, err := d.Run()
 			if err != nil {
 				o.err = fmt.Errorf("%s paired run %d: %w", f.Name, run, err)

@@ -78,29 +78,41 @@ func (p *tokenPool) release() { p.free.Add(1) }
 // assignment order is unspecified, so callers needing deterministic
 // output must write into per-index slots and merge afterwards.
 func parallelDo(n int, fn func(int)) {
+	parallelWorkers(n, func(_, i int) { fn(i) })
+}
+
+// parallelWorkers is parallelDo with a stable worker identity: fn is
+// invoked as fn(worker, i) where worker is 0 for the calling goroutine
+// and 1..k for the k spawned helpers, and worker < n always. Callers
+// use the identity to maintain per-worker reusable state (one
+// simulation driver per worker, reset between runs) without locking:
+// a worker index is owned by exactly one goroutine for the duration of
+// the call.
+func parallelWorkers(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	pool := workerBudget
 	var next atomic.Int64
-	work := func() {
+	work := func(worker int) {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			fn(worker, i)
 		}
 	}
 	var wg sync.WaitGroup
 	for spawned := 0; spawned < n-1 && pool.tryAcquire(); spawned++ {
+		worker := spawned + 1
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer pool.release()
-			work()
+			work(worker)
 		}()
 	}
-	work()
+	work(0)
 	wg.Wait()
 }

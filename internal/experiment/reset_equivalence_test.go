@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+)
+
+// The experiment-layer half of the reset-vs-fresh golden contract:
+// RunCase now keeps one driver per worker and resets it between
+// fresh-start runs, so its output must match a reference that never
+// reuses anything — a brand-new driver per run, executed sequentially
+// (the pre-reuse implementation). The check runs for every algorithm,
+// both experiment modes and several worker counts; the package-internal
+// test reuses runSeed and CaseResult.record so the reference aggregates
+// exactly as RunCase does.
+
+// referenceCase computes spec's result with no driver reuse at all.
+func referenceCase(t *testing.T, spec CaseSpec) CaseResult {
+	t.Helper()
+	res := CaseResult{Algorithm: spec.Factory.Name, MeanRounds: spec.MeanRounds}
+	root := rng.New(spec.Seed)
+	switch spec.Mode {
+	case Cascading:
+		// Cascading state must carry forward by definition; only the
+		// network heals between runs.
+		d := sim.NewDriver(spec.Factory, spec.config(), runSeed(root, spec, 0))
+		for run := 0; run < spec.Runs; run++ {
+			d.Heal()
+			r, err := d.Run()
+			if err != nil {
+				t.Fatalf("%s reference cascading run %d: %v", spec.Factory.Name, run, err)
+			}
+			res.record(r)
+		}
+	default:
+		for run := 0; run < spec.Runs; run++ {
+			d := sim.NewDriver(spec.Factory, spec.config(), runSeed(root, spec, run))
+			r, err := d.Run()
+			if err != nil {
+				t.Fatalf("%s reference fresh run %d: %v", spec.Factory.Name, run, err)
+			}
+			res.record(r)
+		}
+	}
+	return res
+}
+
+// TestRunCaseResetVsFreshEquivalence pins RunCase's driver-reuse
+// lifecycle to the no-reuse reference for the full matrix: every
+// algorithm, both modes, 1 and 3 workers.
+func TestRunCaseResetVsFreshEquivalence(t *testing.T) {
+	defer SetParallelism(0)
+	for _, f := range algset.All() {
+		for _, mode := range []Mode{FreshStart, Cascading} {
+			spec := CaseSpec{
+				Factory:    f,
+				Procs:      20,
+				Changes:    4,
+				MeanRounds: 2,
+				Runs:       10,
+				Mode:       mode,
+				Seed:       1234,
+			}
+			want := referenceCase(t, spec)
+			for _, workers := range []int{1, 3} {
+				SetParallelism(workers)
+				got, err := RunCase(spec)
+				if err != nil {
+					t.Fatalf("%s %s %d workers: %v", f.Name, mode, workers, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s %s: %d-worker reused-driver result differs from fresh reference\nwant: %+v\ngot:  %+v",
+						f.Name, mode, workers, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunPairedResetVsFreshEquivalence does the same for the paired
+// comparison, whose per-worker driver pairs are reset per arm.
+func TestRunPairedResetVsFreshEquivalence(t *testing.T) {
+	defer SetParallelism(0)
+	factories := algset.All()
+	first, second := factories[0], factories[1] // ykd vs dfls
+	spec := CaseSpec{
+		Procs: 20, Changes: 4, MeanRounds: 2, Runs: 10,
+		Mode: FreshStart, Seed: 1234,
+	}
+
+	// Reference: fresh driver per (run, arm), sequential.
+	var want PairedResult
+	root := rng.New(spec.Seed)
+	for run := 0; run < spec.Runs; run++ {
+		var formed [2]bool
+		for i := 0; i < 2; i++ {
+			s := spec
+			s.Factory = first
+			if i == 1 {
+				s.Factory = second
+			}
+			d := sim.NewDriver(s.Factory, s.config(), runSeed(root, s, run))
+			r, err := d.Run()
+			if err != nil {
+				t.Fatalf("%s reference paired run %d: %v", s.Factory.Name, run, err)
+			}
+			formed[i] = r.PrimaryFormed
+		}
+		want.Runs++
+		switch {
+		case formed[0] && formed[1]:
+			want.Both++
+		case formed[0]:
+			want.OnlyFirst++
+		case formed[1]:
+			want.OnlySecond++
+		default:
+			want.Neither++
+		}
+	}
+
+	for _, workers := range []int{1, 3} {
+		SetParallelism(workers)
+		got, err := RunPaired(first, second, spec)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if want != got {
+			t.Errorf("%d workers: reused-driver paired result differs from fresh reference: want %+v, got %+v",
+				workers, want, got)
+		}
+	}
+}

@@ -30,6 +30,7 @@ type Algorithm struct {
 var (
 	_ core.Algorithm       = (*Algorithm)(nil)
 	_ core.PrimaryReporter = (*Algorithm)(nil)
+	_ core.Resetter        = (*Algorithm)(nil)
 )
 
 // New returns an instance for process self whose original process set
@@ -54,6 +55,15 @@ func Factory() core.Factory {
 
 // Name implements core.Algorithm.
 func (a *Algorithm) Name() string { return Name }
+
+// Reset implements core.Resetter; the algorithm holds no heap state,
+// so resetting is plain reassignment.
+func (a *Algorithm) Reset(self proc.ID, initial view.View) {
+	a.self = self
+	a.initial = initial.Members
+	a.current = initial
+	a.inPrimary = true
+}
 
 // ViewChange re-evaluates the majority rule against the new view.
 func (a *Algorithm) ViewChange(v view.View) {

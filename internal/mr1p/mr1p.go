@@ -86,7 +86,10 @@ type Algorithm struct {
 	inPrimary   bool
 	formedViews map[int64]view.View
 
-	// Per-view protocol state, reset on every view change.
+	// Per-view protocol state, reset on every view change. The maps
+	// are cleared in place, never reallocated: a sweep run triggers
+	// thousands of view changes and the old per-change map churn
+	// dominated the algorithm's allocation profile.
 	cur            view.View
 	queryStatuses  map[proc.ID]queryInfo // round-1 reports about our ambiguous session
 	resolveFired   bool
@@ -95,6 +98,8 @@ type Algorithm struct {
 	tryFailSenders map[int64]proc.Set
 
 	out []core.Message
+	// outSpare is Poll's double buffer; see ykd.Algorithm.Poll.
+	outSpare []core.Message
 }
 
 type queryInfo struct {
@@ -106,6 +111,7 @@ var (
 	_ core.Algorithm         = (*Algorithm)(nil)
 	_ core.AmbiguousReporter = (*Algorithm)(nil)
 	_ core.PrimaryReporter   = (*Algorithm)(nil)
+	_ core.Resetter          = (*Algorithm)(nil)
 )
 
 // New returns an MR1p instance for process self. The initial view must
@@ -157,14 +163,48 @@ func (a *Algorithm) AmbiguousSessionCount() int {
 // of the reset optimization.
 func (a *Algorithm) FormedViewCount() int { return len(a.formedViews) }
 
-// Poll implements core.Algorithm, draining the send queue.
+// Poll implements core.Algorithm, draining the send queue. The two
+// queue buffers alternate so the steady state allocates nothing; a
+// returned slice is valid until the next Poll (the core contract).
 func (a *Algorithm) Poll() []core.Message {
 	if len(a.out) == 0 {
 		return nil
 	}
 	out := a.out
-	a.out = nil
+	a.out, a.outSpare = a.outSpare[:0], out
 	return out
+}
+
+// Reset implements core.Resetter: it restores the instance to the
+// state New(self, initial) would produce, clearing the retained maps
+// and truncating the send-queue buffers instead of reallocating them.
+func (a *Algorithm) Reset(self proc.ID, initial view.View) {
+	a.self = self
+	a.initial = initial
+	a.curPrimary = initial
+	a.ambiguous = nil
+	a.num = 0
+	a.status = statusNone
+	a.inPrimary = true
+	clear(a.formedViews)
+	a.formedViews[initial.ID] = initial
+
+	a.cur = initial
+	clear(a.queryStatuses)
+	a.resolveFired = false
+	a.proposals = proc.Set{}
+	clear(a.attemptSenders)
+	clear(a.tryFailSenders)
+	a.out = clearMessages(a.out)
+	a.outSpare = clearMessages(a.outSpare)
+}
+
+// clearMessages truncates a send-queue buffer, dropping the message
+// pointers parked in its full backing array so they can be collected.
+func clearMessages(out []core.Message) []core.Message {
+	out = out[:cap(out)]
+	clear(out)
+	return out[:0]
 }
 
 // ViewChange implements core.Algorithm: reset per-view state, then
@@ -172,11 +212,11 @@ func (a *Algorithm) Poll() []core.Message {
 func (a *Algorithm) ViewChange(v view.View) {
 	a.cur = v
 	a.inPrimary = false
-	a.queryStatuses = make(map[proc.ID]queryInfo)
+	clear(a.queryStatuses)
 	a.resolveFired = false
 	a.proposals = proc.Set{}
-	a.attemptSenders = make(map[int64]proc.Set)
-	a.tryFailSenders = make(map[int64]proc.Set)
+	clear(a.attemptSenders)
+	clear(a.tryFailSenders)
 
 	if a.ambiguous != nil {
 		amb := *a.ambiguous
@@ -335,9 +375,11 @@ func (a *Algorithm) resolveFormed(f view.View) {
 	a.status = statusNone
 
 	// The reset optimization of §3.2.4: a formed primary equal to the
-	// original view supersedes the entire log.
+	// original view supersedes the entire log. Clear in place; the map
+	// is long-lived.
 	if f.Members.Equal(a.initial.Members) {
-		a.formedViews = map[int64]view.View{f.ID: f}
+		clear(a.formedViews)
+		a.formedViews[f.ID] = f
 	}
 
 	if f.ID == a.cur.ID {

@@ -41,6 +41,7 @@ type Algorithm struct {
 var (
 	_ core.Algorithm       = (*Algorithm)(nil)
 	_ core.PrimaryReporter = (*Algorithm)(nil)
+	_ core.Resetter        = (*Algorithm)(nil)
 )
 
 // New returns an instance for process self.
@@ -72,11 +73,25 @@ func (a *Algorithm) InPrimary() bool { return a.inPrimary }
 // PrimaryMembers implements core.PrimaryReporter.
 func (a *Algorithm) PrimaryMembers() proc.Set { return a.lastPrimary.Members }
 
-// ViewChange broadcasts the single state round.
+// Reset implements core.Resetter: back to the just-constructed state,
+// reusing the retained states map.
+func (a *Algorithm) Reset(self proc.ID, initial view.View) {
+	a.self = self
+	a.lastPrimary = view.NewSession(0, initial)
+	a.counter = 0
+	a.inPrimary = true
+	a.cur = initial
+	clear(a.states)
+	a.statesGot = 0
+	a.out = a.out[:0]
+}
+
+// ViewChange broadcasts the single state round. The states map is
+// cleared in place rather than reallocated per view.
 func (a *Algorithm) ViewChange(v view.View) {
 	a.cur = v
 	a.inPrimary = false
-	a.states = make(map[proc.ID]view.Session, v.Size())
+	clear(a.states)
 	a.states[a.self] = a.lastPrimary
 	a.statesGot = 1
 	a.out = append(a.out, &StateMessage{ViewID: v.ID, LastPrimary: a.lastPrimary})

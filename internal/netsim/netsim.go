@@ -71,6 +71,17 @@ func New(n int) *Topology {
 	}
 }
 
+// Reset restores the topology to its just-constructed state — one
+// fully connected component, no crashes, view IDs starting over at 1 —
+// reusing the components slice. A reset topology issues exactly the
+// same view IDs for the same change sequence as a fresh one, which the
+// run-reuse lifecycle in package sim depends on.
+func (t *Topology) Reset() {
+	t.comps = append(t.comps[:0], t.universe)
+	t.crashed = proc.Set{}
+	t.nextViewID = 1
+}
+
 // InitialView returns the all-connected view every process starts in.
 func (t *Topology) InitialView() view.View {
 	return view.View{ID: 0, Members: t.universe}

@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/core"
+	"dynvote/internal/proc"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/view"
+)
+
+// Allocation guards for the hot paths the perf work flattened: the
+// collect/deliver loop (PR 2's envelope and recipient-cache recycling)
+// and the reset lifecycle (this PR). A regression that reintroduces a
+// per-delivery or per-reset allocation fails here long before anyone
+// reads a benchmark diff.
+
+// chatterMsg is a preallocated payload; chatter reuses one instance so
+// the stub adds no allocations of its own to the measurement.
+type chatterMsg struct{}
+
+func (chatterMsg) Kind() string { return "test/chatter" }
+
+// chatter broadcasts the same message every round, forever: the
+// maximum-traffic algorithm, exercising Collect and DeliverOne without
+// any algorithm-side work.
+type chatter struct {
+	out []core.Message
+}
+
+func (c *chatter) Name() string                  { return "chatter" }
+func (c *chatter) ViewChange(view.View)          {}
+func (c *chatter) Deliver(proc.ID, core.Message) {}
+func (c *chatter) InPrimary() bool               { return true }
+func (c *chatter) Poll() []core.Message          { return c.out }
+
+func chatterFactory() core.Factory {
+	return core.Factory{
+		Name: "chatter",
+		New: func(proc.ID, view.View) core.Algorithm {
+			return &chatter{out: []core.Message{chatterMsg{}}}
+		},
+	}
+}
+
+// TestDeliveryLoopAllocFree pins the steady-state collect/deliver loop
+// at zero allocations per round: after warm-up, every envelope comes
+// from the pool and every recipient list from the per-sender cache.
+func TestDeliveryLoopAllocFree(t *testing.T) {
+	c := sim.NewCluster(chatterFactory(), 8)
+	r := rng.New(17)
+	c.Round(r) // grow pools and caches to steady-state capacity
+
+	allocs := testing.AllocsPerRun(50, func() {
+		c.Collect(r)
+		c.DeliverAll(r)
+	})
+	if allocs != 0 {
+		t.Errorf("collect/deliver round allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestDriverResetAllocFree pins Driver.Reset — cluster, topology and
+// all algorithm instances — at zero allocations for every algorithm in
+// the study. The first reset after a run drains queues and clears the
+// dirtied maps (covered by AllocsPerRun's warm-up call); the measured
+// iterations keep exercising the full reset path on the settled
+// driver. Procs stays ≤ 64 so proc.Universe builds inline sets.
+func TestDriverResetAllocFree(t *testing.T) {
+	const runs = 20
+	for _, f := range algset.All() {
+		t.Run(f.Name, func(t *testing.T) {
+			cfg := sim.Config{Procs: 16, Changes: 4, MeanRounds: 2}
+			// Derive every source up front: reset itself must not be
+			// charged for the caller's seed bookkeeping.
+			root := rng.New(53)
+			srcs := make([]*rng.Source, runs+2)
+			for i := range srcs {
+				srcs[i] = root.ChildLabel("alloc", int64(i))
+			}
+			d := sim.NewDriver(f, cfg, srcs[0])
+			if _, err := d.Run(); err != nil {
+				t.Fatalf("warm-up run: %v", err)
+			}
+			i := 1
+			allocs := testing.AllocsPerRun(runs, func() {
+				d.Reset(srcs[i])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s: Driver.Reset allocates %.1f times, want 0", f.Name, allocs)
+			}
+		})
+	}
+}

@@ -110,6 +110,43 @@ func NewCluster(factory core.Factory, n int) *Cluster {
 	return c
 }
 
+// Reset restores the cluster to its just-constructed state without
+// rebuilding it: in-flight envelopes drain into the free pool, views
+// and crash state roll back to the initial all-connected view, the
+// per-sender recipient caches invalidate, and every algorithm is reset
+// in place when it implements core.Resetter (all the study's
+// algorithms do) or rebuilt through the factory otherwise. Scratch
+// capacity — envelope pool, queues, recipient slices — is retained;
+// that retention is the point: a fresh-start sweep executes thousands
+// of independent runs, and after the first one the whole simulation
+// stack is reused instead of reallocated.
+//
+// Reset is exact: a run on a reset cluster is bit-identical to the
+// same run on a fresh one (the reset-vs-fresh golden tests prove it).
+func (c *Cluster) Reset() {
+	initial := view.View{ID: 0, Members: proc.Universe(c.n)}
+	for p := 0; p < c.n; p++ {
+		q := c.queues[p]
+		for i, env := range q {
+			c.releaseEnvelope(env)
+			q[i] = nil
+		}
+		c.queues[p] = q[:0]
+		c.cur[p] = initial
+		c.recipView[p] = -1
+		if res, ok := c.algs[p].(core.Resetter); ok {
+			res.Reset(proc.ID(p), initial)
+		} else {
+			c.algs[p] = c.factory.New(proc.ID(p), initial)
+		}
+	}
+	c.active = c.active[:0]
+	c.pending = 0
+	c.crashed = proc.Set{}
+	clear(c.snapshots) // crash-time durable state must not leak across runs
+	c.traceSeq = 0
+}
+
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.n }
 

@@ -173,6 +173,27 @@ func NewDriver(factory core.Factory, cfg Config, r *rng.Source) *Driver {
 	return d
 }
 
+// Reset rewinds the driver to the state NewDriver would produce,
+// reusing the cluster, topology and algorithm instances in place, and
+// installs r as the new random source. A reset driver's next Run is
+// bit-identical to the first Run of a fresh driver built with the same
+// factory, config and source — fresh-start experiments exploit this to
+// build one driver per worker and reset it between runs instead of
+// rebuilding the world every run. Config (including metrics and trace
+// sinks) is retained.
+func (d *Driver) Reset(r *rng.Source) {
+	d.cluster.Reset()
+	d.topo.Reset()
+	d.rng = r
+	d.crashDone = false
+	d.recoverDone = false
+	d.victim = 0
+	d.crashedAt = 0
+	d.changesApplied = 0
+	d.roundBytes = 0
+	d.maxMsgBytes = 0
+}
+
 // Cluster exposes the underlying cluster for inspection.
 func (d *Driver) Cluster() *Cluster { return d.cluster }
 

@@ -81,8 +81,14 @@ func (w *Writer) RawBytes(b []byte) {
 }
 
 // Bytes returns the encoded message. The returned slice aliases the
-// writer's buffer; the writer must not be reused after Bytes.
+// writer's buffer; the writer must not be reused after Bytes except
+// through Reset, which invalidates the returned slice.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the writer for reuse, keeping its capacity. Any
+// slice previously returned by Bytes is invalidated: the next writes
+// overwrite it in place.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }

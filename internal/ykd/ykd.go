@@ -132,8 +132,14 @@ type Algorithm struct {
 	earlyAttempts  []early
 	earlyFlushes   []early
 	out            []core.Message
+	// outSpare is the second half of Poll's double buffer: the slice
+	// handed out by the previous Poll, reused as the next send queue
+	// once the host is done with it (the core.Algorithm contract makes
+	// a returned slice invalid at the following Poll).
+	outSpare []core.Message
 
-	scratch map[view.SessionKey]view.Session // DECIDE dedup, reused
+	scratch      map[view.SessionKey]view.Session // DECIDE dedup, reused
+	groupScratch []formedGroup                    // snapshotState grouping, reused
 
 	// appliedFormed remembers the last few formed-session reports
 	// fully applied by acceptFormed. During a state exchange every
@@ -150,10 +156,18 @@ type early struct {
 	s    view.Session
 }
 
+// formedGroup is snapshotState's intermediate grouping of the
+// lastFormed table; the backing slice is reused across broadcasts.
+type formedGroup struct {
+	s   view.Session
+	who proc.Set
+}
+
 var (
 	_ core.Algorithm         = (*Algorithm)(nil)
 	_ core.AmbiguousReporter = (*Algorithm)(nil)
 	_ core.PrimaryReporter   = (*Algorithm)(nil)
+	_ core.Resetter          = (*Algorithm)(nil)
 )
 
 // New returns a variant instance for process self. The initial view
@@ -212,6 +226,64 @@ func (a *Algorithm) AmbiguousSessionCount() int { return len(a.ambiguous) }
 // or accepted.
 func (a *Algorithm) LastPrimary() view.Session { return a.lastPrimary }
 
+// Reset implements core.Resetter: it restores the instance to the
+// state New(variant, self, initial) would produce, reusing every piece
+// of retained storage — the lastFormed and states tables, the
+// ambiguous and send-queue slices, the DECIDE scratch map. The variant
+// is preserved. Stale message pointers are cleared from the recycled
+// buffers so a reset instance pins nothing from its previous life.
+func (a *Algorithm) Reset(self proc.ID, initial view.View) {
+	w := view.NewSession(0, initial)
+	maxID := 0
+	initial.Members.ForEach(func(id proc.ID) {
+		if int(id) > maxID {
+			maxID = int(id)
+		}
+	})
+	a.self = self
+	a.initial = w
+	a.lastPrimary = w
+	if cap(a.lastFormed) < maxID+1 {
+		a.lastFormed = make([]view.Session, maxID+1)
+	} else {
+		a.lastFormed = a.lastFormed[:maxID+1]
+		clear(a.lastFormed)
+	}
+	initial.Members.ForEach(func(id proc.ID) { a.lastFormed[id] = w })
+	a.ambiguous = a.ambiguous[:0]
+	a.sessionNumber = 0
+	a.inPrimary = true
+
+	a.cur = initial
+	a.phase = phaseIdle
+	if cap(a.states) < maxID+1 {
+		a.states = make([]*StateMessage, maxID+1)
+	} else {
+		a.states = a.states[:maxID+1]
+		clear(a.states)
+	}
+	a.statesGot = 0
+	a.attemptSession = view.Session{}
+	a.attempts = proc.Set{}
+	a.flushes = proc.Set{}
+	a.earlyAttempts = a.earlyAttempts[:0]
+	a.earlyFlushes = a.earlyFlushes[:0]
+	a.out = clearMessages(a.out)
+	a.outSpare = clearMessages(a.outSpare)
+	clear(a.scratch)
+	a.groupScratch = a.groupScratch[:0]
+	a.appliedFormed = [4]view.Session{}
+	a.appliedNext = 0
+}
+
+// clearMessages truncates a send-queue buffer, dropping the message
+// pointers parked in its full backing array so they can be collected.
+func clearMessages(out []core.Message) []core.Message {
+	out = out[:cap(out)]
+	clear(out)
+	return out[:0]
+}
+
 // ViewChange starts the two-round protocol in the new view: any
 // attempt in progress is abandoned (leaving its session ambiguous) and
 // the process broadcasts its state.
@@ -266,13 +338,17 @@ func (a *Algorithm) Deliver(from proc.ID, m core.Message) {
 	}
 }
 
-// Poll implements core.Algorithm, draining the send queue.
+// Poll implements core.Algorithm, draining the send queue. The two
+// queue buffers alternate: the slice returned here becomes the next
+// send queue at the following Poll, so the steady state allocates
+// nothing (the host's contract is that a returned slice is invalid
+// once Poll is called again).
 func (a *Algorithm) Poll() []core.Message {
 	if len(a.out) == 0 {
 		return nil
 	}
 	out := a.out
-	a.out = nil
+	a.out, a.outSpare = a.outSpare[:0], out
 	return out
 }
 
@@ -280,11 +356,7 @@ func (a *Algorithm) Poll() []core.Message {
 func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 	// Group the lastFormed table by session: a process's formed
 	// sessions carry distinct numbers, so the number keys the group.
-	type group struct {
-		s   view.Session
-		who proc.Set
-	}
-	var groups []group
+	groups := a.groupScratch[:0]
 	a.initial.Members.ForEach(func(q proc.ID) {
 		s := a.lastFormed[q]
 		for i := range groups {
@@ -293,8 +365,9 @@ func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 				return
 			}
 		}
-		groups = append(groups, group{s: s, who: proc.NewSet(q)})
+		groups = append(groups, formedGroup{s: s, who: proc.NewSet(q)})
 	})
+	a.groupScratch = groups
 	formed := make([]FormedEntry, len(groups))
 	for i, g := range groups {
 		formed[i] = FormedEntry{Session: g.s, Who: g.who}
@@ -415,6 +488,9 @@ func (a *Algorithm) resolveAndDecide() {
 			a.recordAttempt(e.from, e.s)
 		}
 	}
+	// Nothing appends to earlyAttempts past the exchange phase, so the
+	// drained buffer can be reclaimed for the next view.
+	a.earlyAttempts = pending[:0]
 	a.checkFormed()
 }
 
@@ -508,13 +584,15 @@ func (a *Algorithm) checkFormed() {
 				a.recordFlush(e.from, e.s)
 			}
 		}
+		a.earlyFlushes = pending[:0]
 		a.checkFlushed()
 		return
 	}
 
 	// YKD, unoptimized YKD and 1-pending delete all ambiguous sessions
-	// the moment a primary is formed.
-	a.ambiguous = nil
+	// the moment a primary is formed. Truncation (not nil) keeps the
+	// slice's capacity for the next attempt.
+	a.ambiguous = a.ambiguous[:0]
 	a.phase = phaseIdle
 }
 
@@ -530,6 +608,6 @@ func (a *Algorithm) checkFlushed() {
 	if a.phase != phaseFlush || !a.cur.Members.SubsetOf(a.flushes) {
 		return
 	}
-	a.ambiguous = nil
+	a.ambiguous = a.ambiguous[:0]
 	a.phase = phaseIdle
 }
