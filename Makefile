@@ -1,15 +1,21 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset soak-short
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 3
+BENCH_N ?= 4
+
+# Allowed ns/op growth percentage in bench-compare. Generous on purpose:
+# ns/op flakes with machine load, so the gate only catches hot-loop
+# regressions of the order-of-magnitude kind.
+TIME_TOLERANCE ?= 75
 
 # check is the tier-1 gate: formatting, vet, build, full test suite,
-# plus the allocation guards and a short race pass over the reset
-# determinism tests (the two properties the run-reuse lifecycle must
-# never lose silently).
-check: fmt vet build test alloc-guard race-reset
+# plus the allocation guards, a short race pass over the reset
+# determinism tests, and a small sharded soak campaign under the race
+# detector (the properties the run-reuse lifecycle and the campaign
+# engine must never lose silently).
+check: fmt vet build test alloc-guard race-reset soak-short
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,9 +34,9 @@ test:
 
 # test-race re-runs the concurrency-sensitive packages under the race
 # detector: the metrics registry, the live group-communication stack,
-# and the instrumented simulator.
+# the instrumented simulator, and the campaign engine.
 test-race:
-	$(GO) test -race ./internal/metrics/... ./internal/gcs/... ./internal/sim/... ./internal/trace/... ./internal/experiment/...
+	$(GO) test -race ./internal/metrics/... ./internal/gcs/... ./internal/sim/... ./internal/trace/... ./internal/experiment/... ./internal/campaign/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -46,10 +52,10 @@ bench-json:
 # bench-compare re-runs the benchmark suite and diffs it against the
 # committed BENCH_$(BENCH_N).json: per-benchmark ns/op, B/op and
 # allocs/op deltas, non-zero exit when allocs/op regressed beyond the
-# tolerance (see cmd/benchjson).
+# tolerance or ns/op beyond TIME_TOLERANCE (see cmd/benchjson).
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_$(BENCH_N).json
+		| $(GO) run ./cmd/benchjson -baseline BENCH_$(BENCH_N).json -time-tolerance $(TIME_TOLERANCE)
 
 # alloc-guard pins the allocation-free hot paths: the steady-state
 # collect/deliver loop and the Driver.Reset lifecycle.
@@ -61,3 +67,9 @@ alloc-guard:
 # stay data-race-free at any worker count.
 race-reset:
 	$(GO) test -race -run 'ResetVsFresh' -count 1 ./internal/sim/ ./internal/experiment/
+
+# soak-short is a small sharded safety campaign — every algorithm, a few
+# thousand changes split over 4 chains — built and run under the race
+# detector, exercising the exact binary and scheduling path CI ships.
+soak-short:
+	$(GO) run -race ./cmd/quorumcheck -changes 2000 -procs 24 -chains 4 -progress 0

@@ -55,9 +55,13 @@ func fmtDelta(old, new float64) string {
 
 // compareReports prints per-benchmark deltas of current vs baseline
 // and returns an error naming every benchmark whose allocs/op grew by
-// more than tolerance percent. Benchmarks present on only one side are
-// reported but never fail the comparison (suites grow and shrink).
-func compareReports(baseline, current *Report, tolerance float64, w io.Writer) error {
+// more than tolerance percent, or — when timeTolerance > 0 — whose
+// ns/op grew by more than timeTolerance percent. The time gate is off
+// by default because ns/op flakes with machine load; opting in with a
+// generous threshold still catches order-of-magnitude hot-loop
+// regressions. Benchmarks present on only one side are reported but
+// never fail the comparison (suites grow and shrink).
+func compareReports(baseline, current *Report, tolerance, timeTolerance float64, w io.Writer) error {
 	base := make(map[string]Benchmark, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		base[benchKey(b)] = b
@@ -84,6 +88,12 @@ func compareReports(baseline, current *Report, tolerance float64, w io.Writer) e
 			regressed = append(regressed, fmt.Sprintf("%s (%.0f -> %.0f allocs/op)",
 				cur.Name, old.AllocsPerOp, cur.AllocsPerOp))
 		}
+		if timeTolerance > 0 {
+			if pct, ok := pctDelta(old.NsPerOp, cur.NsPerOp); ok && pct > timeTolerance {
+				regressed = append(regressed, fmt.Sprintf("%s (%.0f -> %.0f ns/op, %+.1f%%)",
+					cur.Name, old.NsPerOp, cur.NsPerOp, pct))
+			}
+		}
 	}
 	for _, b := range baseline.Benchmarks {
 		if !seen[benchKey(b)] {
@@ -95,8 +105,15 @@ func compareReports(baseline, current *Report, tolerance float64, w io.Writer) e
 	}
 
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%% allocs/op tolerance: %v",
-			len(regressed), tolerance, regressed)
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance (allocs/op > %.1f%%, ns/op gate %s): %v",
+			len(regressed), tolerance, timeGateDesc(timeTolerance), regressed)
 	}
 	return nil
+}
+
+func timeGateDesc(timeTolerance float64) string {
+	if timeTolerance <= 0 {
+		return "off"
+	}
+	return fmt.Sprintf("> %.1f%%", timeTolerance)
 }

@@ -33,7 +33,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}}
 	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 90, 1010, 101)}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 2, &out); err != nil {
+	if err := compareReports(base, cur, 2, 0, &out); err != nil {
 		t.Fatalf("1%% allocs growth under 2%% tolerance should pass: %v", err)
 	}
 	got := out.String()
@@ -54,7 +54,7 @@ func TestCompareRegressionFails(t *testing.T) {
 		bench("BenchmarkY-8", 100, 1000, 50),
 	}}
 	var out bytes.Buffer
-	err := compareReports(base, cur, 2, &out)
+	err := compareReports(base, cur, 2, 0, &out)
 	if err == nil {
 		t.Fatalf("+50%% allocs should fail; output:\n%s", out.String())
 	}
@@ -66,13 +66,46 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
+// TestCompareTimeTolerance: the ns/op gate is off by default (ns/op
+// flakes with load) and catches slowdowns beyond the threshold once
+// opted into; improvements never trip it.
+func TestCompareTimeTolerance(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}}
+	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 300, 1000, 100)}} // 3x slower
+	var out bytes.Buffer
+	if err := compareReports(base, cur, 2, 0, &out); err != nil {
+		t.Fatalf("time gate disabled: 3x slowdown must pass: %v", err)
+	}
+	err := compareReports(base, cur, 2, 50, &out)
+	if err == nil {
+		t.Fatal("3x slowdown beyond 50%% time tolerance should fail")
+	}
+	if !strings.Contains(err.Error(), "ns/op") || !strings.Contains(err.Error(), "BenchmarkX-8") {
+		t.Errorf("error should name the time-regressed benchmark: %v", err)
+	}
+
+	faster := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 50, 1000, 100)}}
+	if err := compareReports(base, faster, 2, 50, &out); err != nil {
+		t.Fatalf("a speedup must never trip the time gate: %v", err)
+	}
+}
+
+func TestRunTimeToleranceFlag(t *testing.T) {
+	path := writeBaseline(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}})
+	in := strings.NewReader("pkg: dynvote\nBenchmarkX-8   10   300 ns/op   1000 B/op   100 allocs/op\n")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path, "-time-tolerance", "50"}, in, &out); err == nil {
+		t.Fatalf("3x ns/op growth beyond -time-tolerance 50 should fail\n%s", out.String())
+	}
+}
+
 func TestCompareZeroBaselineAllocs(t *testing.T) {
 	// A benchmark that was allocation-free and now allocates has no
 	// finite percentage delta; it must still be caught.
 	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkZ-8", 100, 0, 0)}}
 	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkZ-8", 100, 16, 1)}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 50, &out); err == nil {
+	if err := compareReports(base, cur, 50, 0, &out); err == nil {
 		t.Fatalf("0 -> 1 allocs/op should fail regardless of tolerance; output:\n%s", out.String())
 	}
 }
@@ -87,7 +120,7 @@ func TestCompareNewAndMissingBenchmarks(t *testing.T) {
 		bench("BenchmarkNew-8", 100, 1000, 100),
 	}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 2, &out); err != nil {
+	if err := compareReports(base, cur, 2, 0, &out); err != nil {
 		t.Fatalf("suite membership changes alone must not fail: %v", err)
 	}
 	got := out.String()

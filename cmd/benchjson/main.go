@@ -9,9 +9,11 @@
 // With -baseline it additionally compares the fresh results against a
 // committed report, printing per-benchmark deltas (ns/op, B/op,
 // allocs/op) and exiting non-zero when any benchmark's allocs/op grew
-// by more than -tolerance percent:
+// by more than -tolerance percent. An optional -time-tolerance gate
+// (off by default: ns/op is load-sensitive) additionally fails the
+// comparison when any benchmark's ns/op grew beyond its threshold:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline BENCH_2.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline BENCH_2.json -time-tolerance 75
 package main
 
 import (
@@ -34,6 +36,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout; compare mode prints deltas instead)")
 	baseline := fs.String("baseline", "", "committed BENCH_<n>.json to diff against; exits non-zero on regression")
 	tolerance := fs.Float64("tolerance", 2, "allowed allocs/op growth percentage in compare mode")
+	timeTolerance := fs.Float64("time-tolerance", 0, "allowed ns/op growth percentage in compare mode (0 disables the time gate; ns/op is load-sensitive, so prefer generous thresholds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,7 +64,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareReports(base, report, *tolerance, stdout)
+		return compareReports(base, report, *tolerance, *timeTolerance, stdout)
 	}
 	if *out == "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

@@ -6,26 +6,33 @@
 // 1,310,000 connectivity changes without an inconsistency; this
 // command reproduces that campaign at any scale.
 //
+// The change budget is sharded into independent cascading chains per
+// algorithm (see internal/campaign), so the campaign saturates the
+// machine: -chains controls the shard count, -workers the concurrency.
+// Results are bit-identical for a given (seed, chains) regardless of
+// worker count, and `-chains 1 -workers 1` replays the historical
+// serial soak exactly.
+//
 // Examples:
 //
 //	quorumcheck -changes 10000                # quick soak, all algorithms
 //	quorumcheck -changes 1310000 -alg ykd     # the full thesis count
+//	quorumcheck -chains 1 -workers 1          # the historical serial soak
+//	quorumcheck -json campaign.json           # machine-readable report for CI
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"time"
 
 	"dynvote/internal/algset"
+	"dynvote/internal/campaign"
 	"dynvote/internal/core"
-	"dynvote/internal/metrics"
+	"dynvote/internal/experiment"
 	"dynvote/internal/naive"
-	"dynvote/internal/rng"
-	"dynvote/internal/sim"
-	"dynvote/internal/trace"
 )
 
 func main() {
@@ -44,8 +51,11 @@ func run(args []string) error {
 		rate    = fs.Float64("rate", 1.5, "mean message rounds between changes")
 		seed    = fs.Int64("seed", 20000505, "random seed")
 		algName = fs.String("alg", "", `single algorithm (default: all; "naive" runs the known-broken strawman to validate the checker)`)
-		every   = fs.Duration("progress", 10*time.Second, "progress report interval (0 disables)")
-		retain  = fs.Int("trace", 4096, "trace ring-buffer capacity dumped on a violation (0 disables)")
+		every   = fs.Duration("progress", 10*time.Second, "progress report interval per chain (0 disables)")
+		retain  = fs.Int("trace", 4096, "per-chain trace ring-buffer capacity dumped on a violation (0 disables)")
+		chains  = fs.Int("chains", 8, "independent cascading chains per algorithm (1 replays the historical serial soak)")
+		workers = fs.Int("workers", 0, "concurrent workers scheduling chains (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut = fs.String("json", "", "write a machine-readable campaign report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,64 +76,80 @@ func run(args []string) error {
 		}
 	}
 
-	for _, f := range factories {
-		if err := soak(os.Stdout, f, *procs, *changes, *segment, *rate, *seed, *every, *retain); err != nil {
-			return err
+	experiment.SetParallelism(*workers)
+
+	rep := campaign.NewReporter(os.Stdout)
+	cfg := campaign.Config{
+		Factories:     factories,
+		Procs:         *procs,
+		Changes:       *changes,
+		Segment:       *segment,
+		Rate:          *rate,
+		Seed:          *seed,
+		Chains:        *chains,
+		TraceRetain:   *retain,
+		ProgressEvery: *every,
+		Progress:      func(u campaign.ProgressUpdate) { progressLine(rep, u) },
+		AlgorithmDone: func(a campaign.AlgorithmResult) { passedLine(rep, a, *chains) },
+	}
+
+	res, err := campaign.Run(cfg)
+
+	if *jsonOut != "" {
+		report := campaign.NewReport("quorumcheck", cfg, res, experiment.Parallelism(), err)
+		if werr := report.WriteFile(*jsonOut); werr != nil {
+			if err == nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "quorumcheck:", werr)
 		}
+	}
+	if err != nil {
+		return err
 	}
 	fmt.Println("\nALL CLEAR: no inconsistency, ever — at most one primary component at all times.")
 	return nil
 }
 
-func soak(w io.Writer, f core.Factory, procs, changes, segment int, rate float64, seed int64, every time.Duration, retain int) error {
-	start := time.Now()
-	reg := metrics.NewRegistry()
-	cfg := sim.Config{
-		Procs:       procs,
-		Changes:     segment,
-		MeanRounds:  rate,
-		CheckSafety: true,
-		Metrics:     reg,
+// progressLine renders one chain's progress. The single-chain format is
+// byte-identical to the historical serial soak; sharded campaigns add
+// the chain coordinates after the algorithm name.
+func progressLine(rep *campaign.Reporter, u campaign.ProgressUpdate) {
+	elapsed := u.Elapsed.Seconds()
+	throughput := float64(u.Injected) / elapsed
+	eta := time.Duration(float64(u.Budget-u.Injected) / throughput * float64(time.Second))
+	availability := 0.0
+	if u.Runs > 0 {
+		availability = 100 * float64(u.Formed) / float64(u.Runs)
 	}
-	if retain > 0 {
-		cfg.Trace = trace.NewRecorder(retain)
-		// Keep structural events (views, connectivity changes) intact
-		// but thin the delivery firehose so the retained window spans
-		// more history per byte.
-		cfg.TraceSampleEvery = 8
+	if u.Chains == 1 {
+		rep.Printf("%-16s %9d/%d changes, %6d runs, %8.0f changes/s, %d assertions, availability %5.1f%% (eta %s)",
+			u.Algorithm, u.Injected, u.Budget, u.Runs, throughput, u.Assertions,
+			availability, eta.Round(time.Second))
+		return
 	}
-	d := sim.NewDriver(f, cfg, rng.New(seed))
+	rep.Printf("%-16s [%d/%d] %9d/%d changes, %6d runs, %8.0f changes/s, %d assertions, availability %5.1f%% (eta %s)",
+		u.Algorithm, u.Chain+1, u.Chains, u.Injected, u.Budget, u.Runs, throughput,
+		u.Assertions, availability, eta.Round(time.Second))
+}
 
-	injected := 0
-	runs := 0
-	formed := 0
-	assertions := reg.Counter("sim_checker_assertions_total", "")
-	lastReport := start
-	for injected < changes {
-		d.Heal()
-		res, err := d.Run()
-		if err != nil {
-			// A traced driver returns a sim.ViolationError whose message
-			// already carries the retained event history — the %w keeps
-			// the full dump in the output.
-			return fmt.Errorf("%s: INCONSISTENCY or failure after %d changes: %w", f.Name, injected, err)
-		}
-		injected += res.ChangesInjected
-		runs++
-		if res.PrimaryFormed {
-			formed++
-		}
-		if every > 0 && time.Since(lastReport) >= every {
-			lastReport = time.Now()
-			elapsed := time.Since(start).Seconds()
-			throughput := float64(injected) / elapsed
-			eta := time.Duration(float64(changes-injected) / throughput * float64(time.Second))
-			fmt.Fprintf(w, "%-16s %9d/%d changes, %6d runs, %8.0f changes/s, %d assertions, availability %5.1f%% (eta %s)\n",
-				f.Name, injected, changes, runs, throughput, assertions.Value(),
-				100*float64(formed)/float64(runs), eta.Round(time.Second))
-		}
+// passedLine renders an algorithm's merged verdict once its last chain
+// completes cleanly. Single-chain campaigns reproduce the historical
+// line exactly.
+func passedLine(rep *campaign.Reporter, a campaign.AlgorithmResult, chains int) {
+	if chains == 1 {
+		rep.Printf("%-16s PASSED: %d changes across %d cascading runs, %d checker assertions, zero violations (%.1fs)",
+			a.Algorithm, a.Changes, a.Runs, a.Assertions, a.Elapsed.Seconds())
+		return
 	}
-	fmt.Fprintf(w, "%-16s PASSED: %d changes across %d cascading runs, %d checker assertions, zero violations (%.1fs)\n",
-		f.Name, injected, runs, assertions.Value(), time.Since(start).Seconds())
-	return nil
+	rep.Printf("%-16s PASSED: %d changes across %d chains, %d cascading runs, %d checker assertions, zero violations (%.1fs)",
+		a.Algorithm, a.Changes, chains, a.Runs, a.Assertions, a.Elapsed.Seconds())
+}
+
+// violationTrace digs the first chain failure out of a campaign result;
+// used by tests to assert the trace dump survives the campaign wrapping.
+func violationTrace(err error) (*campaign.ChainError, bool) {
+	var ce *campaign.ChainError
+	ok := errors.As(err, &ce)
+	return ce, ok
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"dynvote/internal/algset"
+	"dynvote/internal/campaign"
+	"dynvote/internal/core"
 )
 
 func TestRunQuickSoak(t *testing.T) {
@@ -35,14 +38,28 @@ func TestRunRejectsBadInput(t *testing.T) {
 }
 
 // TestSoakPrintsProgress forces a report on every interval check and
-// asserts the line carries the throughput, ETA and assertion fields.
+// asserts the line carries the throughput, ETA and assertion fields —
+// through the same progressLine/passedLine hooks run() installs.
 func TestSoakPrintsProgress(t *testing.T) {
 	var buf bytes.Buffer
 	f, err := algset.ByName("ykd")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := soak(&buf, f, 8, 150, 12, 1.5, 1, time.Nanosecond, 0); err != nil {
+	rep := campaign.NewReporter(&buf)
+	_, err = campaign.Run(campaign.Config{
+		Factories:     []core.Factory{f},
+		Procs:         8,
+		Changes:       150,
+		Segment:       12,
+		Rate:          1.5,
+		Seed:          1,
+		Chains:        1,
+		ProgressEvery: time.Nanosecond,
+		Progress:      func(u campaign.ProgressUpdate) { progressLine(rep, u) },
+		AlgorithmDone: func(a campaign.AlgorithmResult) { passedLine(rep, a, 1) },
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,12 +70,55 @@ func TestSoakPrintsProgress(t *testing.T) {
 	}
 }
 
+// TestProgressLineFormats pins the exact rendering: the single-chain
+// format must stay byte-identical to the historical serial soak, and
+// the sharded format must carry the chain coordinates.
+func TestProgressLineFormats(t *testing.T) {
+	u := campaign.ProgressUpdate{
+		Algorithm: "ykd", Chain: 0, Chains: 1,
+		Injected: 1200, Budget: 10000, Runs: 100, Formed: 95,
+		Assertions: 4321, Elapsed: 2 * time.Second,
+	}
+	var buf bytes.Buffer
+	rep := campaign.NewReporter(&buf)
+	progressLine(rep, u)
+	want := "ykd                   1200/10000 changes,    100 runs,      600 changes/s, 4321 assertions, availability  95.0% (eta 15s)\n"
+	if got := buf.String(); got != want {
+		t.Errorf("single-chain progress line:\n got %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	u.Chain, u.Chains = 2, 8
+	progressLine(rep, u)
+	if got := buf.String(); !strings.Contains(got, "ykd              [3/8]") {
+		t.Errorf("sharded progress line missing chain coordinates: %q", got)
+	}
+
+	buf.Reset()
+	a := campaign.AlgorithmResult{
+		Algorithm: "ykd", Changes: 10000, Runs: 834, Formed: 800,
+		Assertions: 54321, Elapsed: 2500 * time.Millisecond,
+	}
+	passedLine(rep, a, 1)
+	want = "ykd              PASSED: 10000 changes across 834 cascading runs, 54321 checker assertions, zero violations (2.5s)\n"
+	if got := buf.String(); got != want {
+		t.Errorf("single-chain PASSED line:\n got %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	passedLine(rep, a, 8)
+	if got := buf.String(); !strings.Contains(got, "across 10000 changes") && !strings.Contains(got, "8 chains") {
+		t.Errorf("sharded PASSED line missing chain count: %q", got)
+	}
+}
+
 // TestNaiveViolationDumpsTrace: the known-broken strawman must trip
 // the checker, and the error must carry the trace ring buffer's dump.
-// Seed 29 at these parameters violates within a few cascading runs.
+// Seed 29 at these parameters violates within a few cascading runs of
+// the single-chain (historical) campaign.
 func TestNaiveViolationDumpsTrace(t *testing.T) {
 	err := run([]string{"-alg", "naive", "-procs", "8", "-changes", "500",
-		"-segment", "10", "-rate", "1", "-seed", "29"})
+		"-segment", "10", "-rate", "1", "-seed", "29", "-chains", "1", "-workers", "1"})
 	if err == nil {
 		t.Fatal("the naive strawman passed the soak — the checker is broken")
 	}
@@ -68,5 +128,31 @@ func TestNaiveViolationDumpsTrace(t *testing.T) {
 	}
 	if !strings.Contains(msg, "--- trace") || !strings.Contains(msg, "change") {
 		t.Errorf("error does not dump the trace history: %.200s", msg)
+	}
+	if ce, ok := violationTrace(err); !ok {
+		t.Errorf("violation is not a campaign.ChainError: %T", err)
+	} else if ce.Algorithm != "naive-no-agreement" {
+		t.Errorf("ChainError.Algorithm = %q, want naive-no-agreement", ce.Algorithm)
+	}
+}
+
+// TestJSONReport: a campaign run with -json writes a report CI can
+// parse, even (especially) when the campaign ends in a violation.
+func TestJSONReport(t *testing.T) {
+	path := t.TempDir() + "/campaign.json"
+	err := run([]string{"-alg", "naive", "-procs", "8", "-changes", "500",
+		"-segment", "10", "-rate", "1", "-seed", "29", "-chains", "1", "-workers", "1",
+		"-json", path})
+	if err == nil {
+		t.Fatal("the naive strawman passed the soak")
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, want := range []string{`"tool": "quorumcheck"`, `"violation"`, `naive-no-agreement`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %s:\n%.400s", want, data)
+		}
 	}
 }

@@ -1,0 +1,350 @@
+// Package campaign is the engine behind the repository's trial-by-fire
+// (thesis §2.2) at machine scale: it shards a long cascading soak's
+// connectivity-change budget into independent chains per algorithm and
+// schedules algorithms × chains across the experiment layer's shared
+// worker pool, merging per-chain statistics back in chain order.
+//
+// The thesis's safety campaign replays 1,310,000 connectivity changes
+// through one cascading chain per algorithm. A single chain is
+// inherently sequential — every run continues from the previous run's
+// state — but the campaign's purpose is statistical coverage, not one
+// unbroken history: K shorter cascading chains seeded independently
+// cover the same number of changes, preserve the cascading property
+// inside every chain (algorithms carry ambiguous sessions and shrunken
+// primaries across each chain's runs), and multiply the turbulent
+// healing transitions the serial campaign only sees between segments.
+// Each chain draws its randomness from a source derived purely from
+// (rootSeed, algorithm, chain index), so per-chain results are
+// bit-identical regardless of how many workers execute the campaign or
+// in which order chains are scheduled.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynvote/internal/core"
+	"dynvote/internal/experiment"
+	"dynvote/internal/metrics"
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+	"dynvote/internal/trace"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Factories lists the algorithms to subject to the campaign, each
+	// of which receives the full Changes budget.
+	Factories []core.Factory
+	// Procs is the number of simulated processes.
+	Procs int
+	// Changes is the total connectivity-change budget per algorithm,
+	// split across Chains cascading chains.
+	Changes int
+	// Segment is the number of changes injected per cascading run
+	// (runs cascade within a chain, healing between them).
+	Segment int
+	// Rate is the mean number of message rounds between changes.
+	Rate float64
+	// Seed is the campaign's root seed; see chainSource for how chain
+	// streams derive from it.
+	Seed int64
+	// Chains is the number of independent cascading chains per
+	// algorithm. 0 or 1 runs the historical single-chain soak.
+	Chains int
+	// TraceRetain is the per-chain trace ring-buffer capacity dumped
+	// when that chain trips the checker; 0 disables tracing.
+	TraceRetain int
+	// ProgressEvery throttles Progress callbacks to at most one per
+	// chain per interval; 0 disables progress entirely.
+	ProgressEvery time.Duration
+	// Progress, when non-nil, receives per-chain progress updates. The
+	// engine serializes all hook invocations, so a Progress/
+	// AlgorithmDone pair never runs concurrently with another.
+	Progress func(ProgressUpdate)
+	// AlgorithmDone, when non-nil, fires as soon as the last chain of
+	// an algorithm completes, with the algorithm's merged result. With
+	// one worker and one chain this reproduces the serial soak's
+	// "progress…, PASSED" per-algorithm output ordering.
+	AlgorithmDone func(AlgorithmResult)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chains <= 0 {
+		c.Chains = 1
+	}
+	if c.Segment <= 0 {
+		c.Segment = 12
+	}
+	return c
+}
+
+// ProgressUpdate is one chain's progress snapshot.
+type ProgressUpdate struct {
+	Algorithm      string
+	Chain, Chains  int // Chain is 0-based
+	Injected       int // changes injected by this chain so far
+	Budget         int // this chain's change budget
+	Runs, Formed   int
+	Assertions     int64
+	Elapsed        time.Duration // since this chain started
+	AlgorithmStart time.Time     // when the algorithm's first chain started
+}
+
+// ChainStats is one chain's contribution to the campaign: everything
+// deterministic a chain produces. Timing lives at the algorithm level.
+type ChainStats struct {
+	Algorithm  string
+	Chain      int
+	Changes    int
+	Runs       int
+	Formed     int // runs that ended with a primary component
+	Assertions int64
+}
+
+// AlgorithmResult merges one algorithm's chains in chain order.
+type AlgorithmResult struct {
+	Algorithm  string
+	Chains     []ChainStats
+	Changes    int
+	Runs       int
+	Formed     int
+	Assertions int64
+	// Elapsed is the wall time from the algorithm's first chain
+	// starting to its last chain finishing (not deterministic).
+	Elapsed time.Duration
+}
+
+// AvailabilityPercent returns the percentage of the algorithm's runs
+// that ended with a primary component.
+func (a AlgorithmResult) AvailabilityPercent() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(a.Formed) / float64(a.Runs)
+}
+
+// Result is the campaign's chain-ordered merge.
+type Result struct {
+	Algorithms []AlgorithmResult
+	// Violations lists every chain that tripped the checker, in
+	// (algorithm, chain) order. The campaign aborts at the first
+	// violation, so later chains may have stopped early.
+	Violations []*ChainError
+	Elapsed    time.Duration
+}
+
+// ChainError wraps a safety violation (or driver failure) with the
+// chain that produced it. Unwrap exposes the underlying error, so a
+// sim.ViolationError's retained trace dump survives the wrapping.
+type ChainError struct {
+	Algorithm string
+	Chain     int
+	Chains    int
+	Changes   int // injected by the chain before the failure
+	Err       error
+}
+
+// Error renders the chain coordinates and the underlying failure. A
+// single-chain campaign omits the chain coordinates, matching the
+// historical serial soak's error text exactly.
+func (e *ChainError) Error() string {
+	if e.Chains <= 1 {
+		return fmt.Sprintf("%s: INCONSISTENCY or failure after %d changes: %v",
+			e.Algorithm, e.Changes, e.Err)
+	}
+	return fmt.Sprintf("%s chain %d/%d: INCONSISTENCY or failure after %d changes: %v",
+		e.Algorithm, e.Chain+1, e.Chains, e.Changes, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ChainError) Unwrap() error { return e.Err }
+
+// chainSource derives a chain's deterministic random source. A
+// single-chain campaign replays the historical serial seeding —
+// rng.New(seed) — exactly, which keeps `-chains 1` campaigns
+// bit-identical to the pre-campaign serial soak. Sharded campaigns
+// label each chain's stream with (seed, algorithm, chain index) alone:
+// no chain's draws depend on scheduling, worker count, or any other
+// (algorithm, chain) pair.
+func chainSource(seed int64, alg string, chain, chains int) *rng.Source {
+	if chains == 1 {
+		return rng.New(seed)
+	}
+	return rng.New(seed).ChildLabel("campaign/"+alg, seed, int64(chain))
+}
+
+// chainBudget splits the per-algorithm change budget: every chain gets
+// total/chains changes, the first total%chains chains one extra.
+func chainBudget(total, chains, chain int) int {
+	budget := total / chains
+	if chain < total%chains {
+		budget++
+	}
+	return budget
+}
+
+// errAborted marks chains cut short by another chain's violation; it
+// never surfaces as a campaign error.
+var errAborted = fmt.Errorf("campaign: aborted by a violation in another chain")
+
+// Run executes the campaign: len(Factories) × Chains independent
+// cascading chains, scheduled across the experiment worker pool
+// (experiment.SetParallelism bounds concurrency; 1 forces fully
+// sequential execution in (algorithm, chain) order). The returned
+// Result carries per-chain and merged statistics that are identical
+// for any worker count; the error is the first violation in chain
+// order, nil when every chain passed. A violation in any chain aborts
+// the whole campaign: running chains stop at their next run boundary.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	algs := len(cfg.Factories)
+	jobs := algs * cfg.Chains
+
+	stats := make([]ChainStats, jobs)
+	errs := make([]error, jobs)
+	var abort atomic.Bool
+	var hookMu sync.Mutex
+
+	// Per-algorithm completion bookkeeping: the worker finishing an
+	// algorithm's last chain emits its merged result.
+	chainsLeft := make([]atomic.Int32, algs)
+	algStart := make([]atomic.Int64, algs) // first chain start, UnixNano; 0 = not started
+	for i := range chainsLeft {
+		chainsLeft[i].Store(int32(cfg.Chains))
+	}
+
+	start := time.Now()
+	experiment.ParallelWorkers(jobs, func(_, job int) {
+		alg, chain := job/cfg.Chains, job%cfg.Chains
+		f := cfg.Factories[alg]
+
+		now := time.Now().UnixNano()
+		algStart[alg].CompareAndSwap(0, now)
+
+		errs[job] = runChain(&cfg, f, chain, &stats[job], &abort, &hookMu,
+			time.Unix(0, algStart[alg].Load()))
+		if errs[job] != nil && errs[job] != errAborted {
+			abort.Store(true)
+		}
+
+		if chainsLeft[alg].Add(-1) == 0 && cfg.AlgorithmDone != nil {
+			res := mergeAlgorithm(f.Name, stats[alg*cfg.Chains:(alg+1)*cfg.Chains])
+			res.Elapsed = time.Since(time.Unix(0, algStart[alg].Load()))
+			clean := true
+			for _, err := range errs[alg*cfg.Chains : (alg+1)*cfg.Chains] {
+				if err != nil {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				hookMu.Lock()
+				cfg.AlgorithmDone(res)
+				hookMu.Unlock()
+			}
+		}
+	})
+
+	res := &Result{Elapsed: time.Since(start)}
+	for alg := 0; alg < algs; alg++ {
+		a := mergeAlgorithm(cfg.Factories[alg].Name, stats[alg*cfg.Chains:(alg+1)*cfg.Chains])
+		if ns := algStart[alg].Load(); ns != 0 {
+			a.Elapsed = res.Elapsed // upper bound; refined by AlgorithmDone consumers
+		}
+		res.Algorithms = append(res.Algorithms, a)
+	}
+	var first error
+	for _, err := range errs {
+		if err == nil || err == errAborted {
+			continue
+		}
+		ce, ok := err.(*ChainError)
+		if !ok {
+			ce = &ChainError{Err: err, Chains: cfg.Chains}
+		}
+		res.Violations = append(res.Violations, ce)
+		if first == nil {
+			first = err
+		}
+	}
+	return res, first
+}
+
+// mergeAlgorithm folds one algorithm's chain stats, in chain order.
+func mergeAlgorithm(name string, chains []ChainStats) AlgorithmResult {
+	res := AlgorithmResult{Algorithm: name, Chains: append([]ChainStats(nil), chains...)}
+	for _, c := range chains {
+		res.Changes += c.Changes
+		res.Runs += c.Runs
+		res.Formed += c.Formed
+		res.Assertions += c.Assertions
+	}
+	return res
+}
+
+// runChain executes one cascading chain to its budget: heal, run a
+// segment of changes, repeat — the §2.2 loop — with the safety checker
+// enabled after every message round.
+func runChain(cfg *Config, f core.Factory, chain int, stat *ChainStats,
+	abort *atomic.Bool, hookMu *sync.Mutex, algStart time.Time) error {
+	budget := chainBudget(cfg.Changes, cfg.Chains, chain)
+	stat.Algorithm = f.Name
+	stat.Chain = chain
+
+	reg := metrics.NewRegistry()
+	simCfg := sim.Config{
+		Procs:       cfg.Procs,
+		Changes:     cfg.Segment,
+		MeanRounds:  cfg.Rate,
+		CheckSafety: true,
+		Metrics:     reg,
+	}
+	if cfg.TraceRetain > 0 {
+		simCfg.Trace = trace.NewRecorder(cfg.TraceRetain)
+		// Keep structural events (views, connectivity changes) intact
+		// but thin the delivery firehose so the retained window spans
+		// more history per byte.
+		simCfg.TraceSampleEvery = 8
+	}
+	d := sim.NewDriver(f, simCfg, chainSource(cfg.Seed, f.Name, chain, cfg.Chains))
+	assertions := reg.Counter("sim_checker_assertions_total", "")
+
+	start := time.Now()
+	lastReport := start
+	for stat.Changes < budget {
+		if abort.Load() {
+			return errAborted
+		}
+		d.Heal()
+		res, err := d.Run()
+		stat.Assertions = assertions.Value()
+		if err != nil {
+			return &ChainError{
+				Algorithm: f.Name, Chain: chain, Chains: cfg.Chains,
+				Changes: stat.Changes, Err: err,
+			}
+		}
+		stat.Changes += res.ChangesInjected
+		stat.Runs++
+		if res.PrimaryFormed {
+			stat.Formed++
+		}
+		if cfg.Progress != nil && cfg.ProgressEvery > 0 && time.Since(lastReport) >= cfg.ProgressEvery {
+			lastReport = time.Now()
+			u := ProgressUpdate{
+				Algorithm: f.Name, Chain: chain, Chains: cfg.Chains,
+				Injected: stat.Changes, Budget: budget,
+				Runs: stat.Runs, Formed: stat.Formed,
+				Assertions: stat.Assertions,
+				Elapsed:    time.Since(start), AlgorithmStart: algStart,
+			}
+			hookMu.Lock()
+			cfg.Progress(u)
+			hookMu.Unlock()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Reporter serializes progress lines from concurrent chains onto one
+// writer. Concurrent fmt.Fprintf calls on a shared writer interleave
+// at arbitrary byte boundaries — a multi-worker campaign would tear
+// its own progress lines — so every line is formatted into a private
+// buffer under the reporter's mutex and emitted with a single Write.
+// A nil Reporter is a no-op, so call sites never branch on whether
+// progress output was requested.
+type Reporter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewReporter wraps w; a nil writer yields a nil (no-op) Reporter.
+func NewReporter(w io.Writer) *Reporter {
+	if w == nil {
+		return nil
+	}
+	return &Reporter{w: w}
+}
+
+// Printf emits one line, appending a trailing newline when the format
+// does not end in one. Lines from concurrent callers never interleave.
+func (r *Reporter) Printf(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = fmt.Appendf(r.buf[:0], format, args...)
+	if n := len(r.buf); n == 0 || r.buf[n-1] != '\n' {
+		r.buf = append(r.buf, '\n')
+	}
+	r.w.Write(r.buf)
+}

@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestReporterSerializesLines: many goroutines printing concurrently
+// must never tear each other's lines — every emitted line is exactly
+// one of the lines some goroutine printed.
+func TestReporterSerializesLines(t *testing.T) {
+	var buf bytes.Buffer
+	rep := NewReporter(&buf)
+
+	const goroutines, lines = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				rep.Printf("worker-%02d line %04d padding padding padding padding", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(got) != goroutines*lines {
+		t.Fatalf("%d lines emitted, want %d", len(got), goroutines*lines)
+	}
+	for _, line := range got {
+		var g, i int
+		if _, err := fmt.Sscanf(line, "worker-%d line %d", &g, &i); err != nil {
+			t.Fatalf("torn line: %q", line)
+		}
+		if !strings.HasSuffix(line, "padding padding padding padding") {
+			t.Fatalf("truncated line: %q", line)
+		}
+	}
+}
+
+// TestReporterNilSafety: a nil reporter (no output requested) is a
+// no-op, and Printf appends a newline only when the format lacks one.
+func TestReporterNilSafety(t *testing.T) {
+	var rep *Reporter
+	rep.Printf("into the void")
+	if NewReporter(nil) != nil {
+		t.Error("NewReporter(nil) should yield a nil reporter")
+	}
+
+	var buf bytes.Buffer
+	r := NewReporter(&buf)
+	r.Printf("no newline")
+	r.Printf("has newline\n")
+	if got, want := buf.String(), "no newline\nhas newline\n"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}

@@ -71,6 +71,13 @@ func (p *tokenPool) tryAcquire() bool {
 
 func (p *tokenPool) release() { p.free.Add(1) }
 
+// ParallelWorkers exposes the shared-budget scheduler to sibling
+// packages (internal/campaign shards soak chains across the same
+// token pool, so a campaign nested under other experiment work cannot
+// over-subscribe the machine). fn is invoked as fn(worker, i) for
+// i in [0, n) with a stable worker identity; see parallelWorkers.
+func ParallelWorkers(n int, fn func(worker, i int)) { parallelWorkers(n, fn) }
+
 // parallelDo runs fn(0), ..., fn(n-1), distributing indices over the
 // calling goroutine plus however many helpers the shared budget
 // currently allows, and returns once all have completed. fn must be

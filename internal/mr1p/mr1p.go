@@ -86,25 +86,21 @@ type Algorithm struct {
 	inPrimary   bool
 	formedViews map[int64]view.View
 
-	// Per-view protocol state, reset on every view change. The maps
-	// are cleared in place, never reallocated: a sweep run triggers
-	// thousands of view changes and the old per-change map churn
-	// dominated the algorithm's allocation profile.
+	// Per-view protocol state, reset on every view change. The tallies
+	// live in small sorted-slice tables (see tables.go) that truncate
+	// in place, never reallocate: a sweep run triggers thousands of
+	// view changes, and first the per-change map churn and then the
+	// per-delivery map probes dominated the algorithm's profile.
 	cur            view.View
-	queryStatuses  map[proc.ID]queryInfo // round-1 reports about our ambiguous session
+	queryStatuses  queryTable // round-1 reports about our ambiguous session
 	resolveFired   bool
 	proposals      proc.Set
-	attemptSenders map[int64]proc.Set
-	tryFailSenders map[int64]proc.Set
+	attemptSenders senderTable
+	tryFailSenders senderTable
 
 	out []core.Message
 	// outSpare is Poll's double buffer; see ykd.Algorithm.Poll.
 	outSpare []core.Message
-}
-
-type queryInfo struct {
-	num    int64
-	status status
 }
 
 var (
@@ -119,15 +115,12 @@ var (
 // starts in.
 func New(self proc.ID, initial view.View) *Algorithm {
 	return &Algorithm{
-		self:           self,
-		initial:        initial,
-		curPrimary:     initial,
-		inPrimary:      true,
-		formedViews:    map[int64]view.View{initial.ID: initial},
-		cur:            initial,
-		queryStatuses:  make(map[proc.ID]queryInfo),
-		attemptSenders: make(map[int64]proc.Set),
-		tryFailSenders: make(map[int64]proc.Set),
+		self:        self,
+		initial:     initial,
+		curPrimary:  initial,
+		inPrimary:   true,
+		formedViews: map[int64]view.View{initial.ID: initial},
+		cur:         initial,
 	}
 }
 
@@ -190,11 +183,11 @@ func (a *Algorithm) Reset(self proc.ID, initial view.View) {
 	a.formedViews[initial.ID] = initial
 
 	a.cur = initial
-	clear(a.queryStatuses)
+	a.queryStatuses.reset()
 	a.resolveFired = false
 	a.proposals = proc.Set{}
-	clear(a.attemptSenders)
-	clear(a.tryFailSenders)
+	a.attemptSenders.reset()
+	a.tryFailSenders.reset()
 	a.out = clearMessages(a.out)
 	a.outSpare = clearMessages(a.outSpare)
 }
@@ -212,18 +205,18 @@ func clearMessages(out []core.Message) []core.Message {
 func (a *Algorithm) ViewChange(v view.View) {
 	a.cur = v
 	a.inPrimary = false
-	clear(a.queryStatuses)
+	a.queryStatuses.reset()
 	a.resolveFired = false
 	a.proposals = proc.Set{}
-	clear(a.attemptSenders)
-	clear(a.tryFailSenders)
+	a.attemptSenders.reset()
+	a.tryFailSenders.reset()
 
 	if a.ambiguous != nil {
 		amb := *a.ambiguous
 		a.out = append(a.out, &QueryMessage{
 			ViewID: v.ID, Ambiguous: amb, Num: a.num, Status: byte(a.status),
 		})
-		a.queryStatuses[a.self] = queryInfo{num: a.num, status: a.status}
+		a.queryStatuses.set(a.self, a.num, a.status)
 		a.checkResolveTally()
 		return
 	}
@@ -274,7 +267,7 @@ func (a *Algorithm) onQuery(from proc.ID, msg *QueryMessage) {
 	switch {
 	case a.ambiguous != nil && about.ID == a.ambiguous.ID:
 		// A fellow holder's report; its query doubles as its answer.
-		a.queryStatuses[from] = queryInfo{num: msg.Num, status: status(msg.Status)}
+		a.queryStatuses.set(from, msg.Num, status(msg.Status))
 		a.checkResolveTally()
 	case about.Contains(a.self):
 		if _, ok := a.formedViews[about.ID]; ok {
@@ -295,24 +288,15 @@ func (a *Algorithm) checkResolveTally() {
 		return
 	}
 	amb := *a.ambiguous
-	if !quorum.MajorityCount(len(a.queryStatuses), amb.Size()) {
+	if !quorum.MajorityCount(a.queryStatuses.len(), amb.Size()) {
 		return
 	}
 	a.resolveFired = true
 
 	// Deterministically pick the status of a maximum-num report:
-	// smallest process ID among the maxima.
-	best := queryInfo{num: -1}
-	bestFrom := proc.None
-	amb.Members.ForEach(func(q proc.ID) {
-		qi, ok := a.queryStatuses[q]
-		if !ok {
-			return
-		}
-		if qi.num > best.num || (qi.num == best.num && (bestFrom == proc.None || q < bestFrom)) {
-			best, bestFrom = qi, q
-		}
-	})
+	// smallest process ID among the maxima (bestQuery's ascending scan
+	// realizes the tie-break).
+	best, _ := a.queryStatuses.bestQuery(amb)
 	call := best.status
 	if call == statusSent {
 		call = statusTryFail
@@ -334,8 +318,7 @@ func (a *Algorithm) recordAttempt(from proc.ID, target view.View) {
 	if !target.Contains(from) {
 		return
 	}
-	s := a.attemptSenders[target.ID].With(from)
-	a.attemptSenders[target.ID] = s
+	s := a.attemptSenders.add(target.ID, from)
 	if !quorum.MajorityCount(s.IntersectCount(target.Members), target.Size()) {
 		return
 	}
@@ -351,8 +334,7 @@ func (a *Algorithm) recordTryFail(from proc.ID, target view.View) {
 	if !target.Contains(from) {
 		return
 	}
-	s := a.tryFailSenders[target.ID].With(from)
-	a.tryFailSenders[target.ID] = s
+	s := a.tryFailSenders.add(target.ID, from)
 	if a.ambiguous == nil || target.ID != a.ambiguous.ID {
 		return
 	}

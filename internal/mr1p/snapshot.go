@@ -93,10 +93,10 @@ func (a *Algorithm) Restore(data []byte) error {
 	a.inPrimary = false
 	a.out = nil
 	// Per-view tallies restart empty; the next view change re-queries.
-	a.queryStatuses = make(map[proc.ID]queryInfo)
+	a.queryStatuses.reset()
 	a.resolveFired = false
 	a.proposals = proc.Set{}
-	a.attemptSenders = make(map[int64]proc.Set)
-	a.tryFailSenders = make(map[int64]proc.Set)
+	a.attemptSenders.reset()
+	a.tryFailSenders.reset()
 	return nil
 }

@@ -1,0 +1,78 @@
+package mr1p
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/view"
+)
+
+// The sorted-slice tables replaced per-view maps on MR1p's delivery
+// hot path. These benchmarks keep the replacement honest: the slice
+// variants must beat a map doing the same work at view-sized entry
+// counts (≤ 64), including the per-view-change clear.
+
+// mapQueryInfo mirrors the pre-conversion map-based tally, kept here
+// as the benchmark baseline.
+type mapQueryInfo struct {
+	num    int64
+	status status
+}
+
+func BenchmarkQueryTableSet(b *testing.B) {
+	var t queryTable
+	for i := 0; i < b.N; i++ {
+		t.reset()
+		for p := proc.ID(0); p < 24; p++ {
+			t.set(p, int64(i), statusNone)
+		}
+	}
+}
+
+func BenchmarkQueryMapSet(b *testing.B) {
+	m := make(map[proc.ID]mapQueryInfo, 24)
+	for i := 0; i < b.N; i++ {
+		clear(m)
+		for p := proc.ID(0); p < 24; p++ {
+			m[p] = mapQueryInfo{num: int64(i), status: statusNone}
+		}
+	}
+}
+
+func BenchmarkBestQuery(b *testing.B) {
+	var t queryTable
+	for p := proc.ID(0); p < 24; p++ {
+		t.set(p, int64(p%7), statusNone)
+	}
+	amb := view.View{ID: 1, Members: proc.Universe(24)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.bestQuery(amb); !ok {
+			b.Fatal("no best query")
+		}
+	}
+}
+
+func BenchmarkSenderTableAdd(b *testing.B) {
+	var t senderTable
+	for i := 0; i < b.N; i++ {
+		t.reset()
+		// Two target views in flight, 24 senders each — the shape a
+		// resolution round actually produces.
+		for p := proc.ID(0); p < 24; p++ {
+			t.add(100, p)
+			t.add(101, p)
+		}
+	}
+}
+
+func BenchmarkSenderMapAdd(b *testing.B) {
+	m := make(map[int64]proc.Set, 2)
+	for i := 0; i < b.N; i++ {
+		clear(m)
+		for p := proc.ID(0); p < 24; p++ {
+			m[100] = m[100].With(p)
+			m[101] = m[101].With(p)
+		}
+	}
+}

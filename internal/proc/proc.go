@@ -201,6 +201,13 @@ func (s Set) IntersectCount(t Set) int {
 	return c
 }
 
+// InlineWord returns the inline first word of s and whether the set
+// fits entirely in it (no overflow words). Every configuration the
+// thesis measures is at most 64 processes, so callers like package
+// quorum use this as the precondition for single-word popcount
+// arithmetic that avoids the general per-word loops.
+func (s Set) InlineWord() (uint64, bool) { return s.word0, len(s.rest) == 0 }
+
 // Equal reports whether s and t have identical membership.
 func (s Set) Equal(t Set) bool {
 	if s.word0 != t.word0 || len(s.rest) != len(t.rest) {

@@ -6,9 +6,19 @@
 // Y. The same SUBQUORUM primitive is shared by YKD, its variants, and
 // MR1p (thesis Fig 3-4); the simple-majority baseline uses the plain
 // majority rule against the original process set.
+//
+// Both predicates sit on the simulator's hottest path — every DECIDE,
+// every resolution tally — so the ≤64-process case (every configuration
+// the thesis measures) is special-cased to a couple of inline popcounts
+// over the sets' single inline words, skipping the general multi-word
+// loops entirely.
 package quorum
 
-import "dynvote/internal/proc"
+import (
+	"math/bits"
+
+	"dynvote/internal/proc"
+)
 
 // SubQuorum reports whether x is a subquorum of y under dynamic linear
 // voting:
@@ -20,6 +30,21 @@ import "dynvote/internal/proc"
 // An empty y has no subquorums: with no previous membership to anchor
 // to, no group may claim succession.
 func SubQuorum(x, y proc.Set) bool {
+	if yw, ok := y.InlineWord(); ok {
+		if xw, ok := x.InlineWord(); ok {
+			total := bits.OnesCount64(yw)
+			if total == 0 {
+				return false
+			}
+			common := bits.OnesCount64(xw & yw)
+			if 2*common > total {
+				return true
+			}
+			// yw & -yw isolates y's lowest set bit — its lexically
+			// smallest member, the dynamic linear voting tie-breaker.
+			return 2*common == total && xw&(yw&-yw) != 0
+		}
+	}
 	total := y.Count()
 	if total == 0 {
 		return false
@@ -33,6 +58,12 @@ func SubQuorum(x, y proc.Set) bool {
 
 // Majority reports whether x holds a strict majority of y.
 func Majority(x, y proc.Set) bool {
+	if yw, ok := y.InlineWord(); ok {
+		if xw, ok := x.InlineWord(); ok {
+			total := bits.OnesCount64(yw)
+			return total > 0 && 2*bits.OnesCount64(xw&yw) > total
+		}
+	}
 	total := y.Count()
 	return total > 0 && 2*x.IntersectCount(y) > total
 }

@@ -1,0 +1,50 @@
+package quorum_test
+
+import (
+	"testing"
+
+	"dynvote/internal/proc"
+	"dynvote/internal/quorum"
+)
+
+// SubQuorum and Majority sit on every algorithm's view-change path; the
+// single-word popcount fast path must stay a handful of instructions.
+// The >64-proc variants exercise the general word-walk fallback.
+
+var sink bool
+
+func BenchmarkSubQuorumSingleWord(b *testing.B) {
+	old := proc.Universe(48)
+	new_ := proc.NewSet(0, 1, 2, 3, 5, 8, 13, 21, 34, 40, 41, 42, 43, 44, 45, 46, 47, 30, 31, 32, 33, 20, 21, 22, 23, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.SubQuorum(new_, old)
+	}
+}
+
+func BenchmarkMajoritySingleWord(b *testing.B) {
+	old := proc.Universe(48)
+	new_ := proc.Universe(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.Majority(new_, old)
+	}
+}
+
+func BenchmarkSubQuorumMultiWord(b *testing.B) {
+	old := proc.Universe(130)
+	new_ := proc.Universe(66)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.SubQuorum(new_, old)
+	}
+}
+
+func BenchmarkMajorityMultiWord(b *testing.B) {
+	old := proc.Universe(130)
+	new_ := proc.Universe(70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.Majority(new_, old)
+	}
+}

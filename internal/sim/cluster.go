@@ -61,8 +61,7 @@ type Cluster struct {
 	recipBase     [][]proc.ID // per-sender members-minus-sender, ascending order
 	recipView     []int64     // view ID each recipBase entry was built for (-1: none)
 	memberScratch []proc.ID   // IssueViews shuffle buffer
-	viewsSeen     map[int64]bool
-	viewsOut      []view.View
+	viewsOut      []view.View // CurrentViews result, reused per call
 
 	// Drop, when non-nil, filters individual deliveries (tests only).
 	Drop DropFilter
@@ -447,22 +446,37 @@ func (c *Cluster) Quiescent() bool { return c.pending == 0 }
 // components as the processes perceive them. The returned slice is
 // reused by the next CurrentViews call: it is valid until then, which
 // covers every checker-style caller that iterates it immediately.
+//
+// Dedup runs over the accumulating result itself instead of a hash
+// set: the checker calls this after every message round, views are
+// issued to members in contiguous ID ranges so consecutive processes
+// usually share a view (the recent-ID check catches them in one
+// compare), and the distinct-view count is bounded by the component
+// count — a handful — so the fallback linear scan stays a few word
+// compares. The old map probe per process dominated the checker's
+// profile in long soaks.
 func (c *Cluster) CurrentViews() []view.View {
-	if c.viewsSeen == nil {
-		c.viewsSeen = make(map[int64]bool, 8)
-	} else {
-		clear(c.viewsSeen)
-	}
 	out := c.viewsOut[:0]
+	last := int64(-1) // view IDs issued by netsim are non-negative
 	for p := 0; p < c.n; p++ {
 		if c.crashed.Contains(proc.ID(p)) {
 			continue
 		}
 		v := c.cur[p]
-		if !c.viewsSeen[v.ID] {
-			c.viewsSeen[v.ID] = true
+		if v.ID == last {
+			continue
+		}
+		seen := false
+		for i := range out {
+			if out[i].ID == v.ID {
+				seen = true
+				break
+			}
+		}
+		if !seen {
 			out = append(out, v)
 		}
+		last = v.ID
 	}
 	c.viewsOut = out
 	return out

@@ -138,8 +138,12 @@ type Algorithm struct {
 	// a returned slice invalid at the following Poll).
 	outSpare []core.Message
 
-	scratch      map[view.SessionKey]view.Session // DECIDE dedup, reused
-	groupScratch []formedGroup                    // snapshotState grouping, reused
+	// scratch accumulates the deduplicated constraining ambiguous
+	// sessions during DECIDE. A handful of sessions at most survive the
+	// COMPUTE filters, so a linear Equal scan over a reused slice beats
+	// hashing SessionKeys into a map on every view change.
+	scratch      []view.Session
+	groupScratch []formedGroup // snapshotState grouping, reused
 
 	// appliedFormed remembers the last few formed-session reports
 	// fully applied by acceptFormed. During a state exchange every
@@ -193,7 +197,6 @@ func New(variant Variant, self proc.ID, initial view.View) *Algorithm {
 		cur:         initial,
 		phase:       phaseIdle,
 		states:      make([]*StateMessage, maxID+1),
-		scratch:     make(map[view.SessionKey]view.Session),
 	}
 }
 
@@ -270,7 +273,7 @@ func (a *Algorithm) Reset(self proc.ID, initial view.View) {
 	a.earlyFlushes = a.earlyFlushes[:0]
 	a.out = clearMessages(a.out)
 	a.outSpare = clearMessages(a.outSpare)
-	clear(a.scratch)
+	a.scratch = a.scratch[:0]
 	a.groupScratch = a.groupScratch[:0]
 	a.appliedFormed = [4]view.Session{}
 	a.appliedNext = 0
@@ -434,8 +437,9 @@ func (a *Algorithm) resolveAndDecide() {
 
 	// COMPUTE maxAmbiguousSessions: the combined ambiguous sessions of
 	// all members that still constrain the decision.
-	clear(a.scratch)
+	a.scratch = a.scratch[:0]
 	v.Members.ForEach(func(q proc.ID) {
+	next:
 		for _, s := range a.states[q].Ambiguous {
 			if a.variant != VariantDFLS {
 				// YKD-family COMPUTE keeps only sessions newer than
@@ -448,7 +452,12 @@ func (a *Algorithm) resolveAndDecide() {
 					continue
 				}
 			}
-			a.scratch[s.Key()] = s
+			for i := range a.scratch {
+				if a.scratch[i].Equal(s) {
+					continue next
+				}
+			}
+			a.scratch = append(a.scratch, s)
 		}
 	})
 
