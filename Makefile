@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset soak-short
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 4
+BENCH_N ?= 5
 
 # Allowed ns/op growth percentage in bench-compare. Generous on purpose:
 # ns/op flakes with machine load, so the gate only catches hot-loop
@@ -11,11 +11,13 @@ BENCH_N ?= 4
 TIME_TOLERANCE ?= 75
 
 # check is the tier-1 gate: formatting, vet, build, full test suite,
-# plus the allocation guards, a short race pass over the reset
-# determinism tests, and a small sharded soak campaign under the race
-# detector (the properties the run-reuse lifecycle and the campaign
-# engine must never lose silently).
-check: fmt vet build test alloc-guard race-reset soak-short
+# plus the allocation guards, the set-vs-model property tests under the
+# race detector, a short race pass over the reset determinism tests,
+# and sharded soak campaigns under the race detector at both the thesis
+# scale and the wide 128-process scale (the properties the run-reuse
+# lifecycle, the multi-word set representation and the campaign engine
+# must never lose silently).
+check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,7 +54,10 @@ bench-json:
 # bench-compare re-runs the benchmark suite and diffs it against the
 # committed BENCH_$(BENCH_N).json: per-benchmark ns/op, B/op and
 # allocs/op deltas, non-zero exit when allocs/op regressed beyond the
-# tolerance or ns/op beyond TIME_TOLERANCE (see cmd/benchjson).
+# tolerance or ns/op beyond TIME_TOLERANCE (see cmd/benchjson). The
+# ns/op gate only applies to macro benchmarks (baseline ≥ 50µs/op,
+# benchjson's -time-floor): micro-benchmarks at -benchtime 1x measure
+# mostly the timer and flake multiples under load.
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_$(BENCH_N).json -time-tolerance $(TIME_TOLERANCE)
@@ -61,6 +66,13 @@ bench-compare:
 # collect/deliver loop and the Driver.Reset lifecycle.
 alloc-guard:
 	$(GO) test -run 'AllocFree' -count 1 ./internal/sim/
+
+# set-model re-runs the proc.Set map-reference property tests (and the
+# fuzz seed corpus) under the race detector: every mutation and algebra
+# op is compared against a reference model at the word-boundary sizes
+# 63/64/65 and 255/256/257.
+set-model:
+	$(GO) test -race -run 'SetModel|FuzzSetModel' -count 1 ./internal/proc/
 
 # race-reset runs the reset-vs-fresh golden tests under the race
 # detector: the per-worker driver reuse in the experiment layer must
@@ -73,3 +85,12 @@ race-reset:
 # detector, exercising the exact binary and scheduling path CI ships.
 soak-short:
 	$(GO) run -race ./cmd/quorumcheck -changes 2000 -procs 24 -chains 4 -progress 0
+
+# soak-large is the same campaign at the top of the scaling sweep's
+# comfortable range under the race detector: 128 processes, all six
+# algorithms, checker on. The change budget is small — at this width
+# each cascading segment already exercises the multi-word set and wide
+# quorum paths thousands of times, and mr1p's reporter tables dominate
+# the wall clock.
+soak-large:
+	$(GO) run -race ./cmd/quorumcheck -changes 12 -segment 6 -chains 2 -procs 128 -progress 0

@@ -271,10 +271,24 @@ func BenchmarkAblationResolutionQuorum(b *testing.B) { benchAblation(b, "1-pendi
 // BenchmarkSingleRun is the microbenchmark of the simulation core: one
 // fresh 64-process run, 6 changes at rate 4.
 func BenchmarkSingleRun(b *testing.B) {
+	benchSingleRun(b, 64)
+}
+
+// BenchmarkSingleRun128 and BenchmarkSingleRun256 are the same
+// workload at the N-scaling study's system sizes: runtime should grow
+// near the O(N²) message floor (every view change broadcasts N
+// messages of O(N) recipients), not the allocation-bound curve the
+// single-word set representation had past 64 processes.
+func BenchmarkSingleRun128(b *testing.B) { benchSingleRun(b, 128) }
+
+func BenchmarkSingleRun256(b *testing.B) { benchSingleRun(b, 256) }
+
+func benchSingleRun(b *testing.B, procs int) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d := sim.NewDriver(ykd.Factory(ykd.VariantYKD), sim.Config{
-			Procs: 64, Changes: 6, MeanRounds: 4,
+			Procs: procs, Changes: 6, MeanRounds: 4,
 		}, rng.New(int64(i)))
 		if _, err := d.Run(); err != nil {
 			b.Fatal(err)

@@ -94,3 +94,10 @@ func TestRunWritesMetricsReport(t *testing.T) {
 		t.Error("wall time not recorded")
 	}
 }
+
+func TestRunScalingStudy(t *testing.T) {
+	err := run([]string{"-scaling", "-changes", "2", "-rate", "2", "-runs", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -59,9 +59,14 @@ func fmtDelta(old, new float64) string {
 // ns/op grew by more than timeTolerance percent. The time gate is off
 // by default because ns/op flakes with machine load; opting in with a
 // generous threshold still catches order-of-magnitude hot-loop
-// regressions. Benchmarks present on only one side are reported but
-// never fail the comparison (suites grow and shrink).
-func compareReports(baseline, current *Report, tolerance, timeTolerance float64, w io.Writer) error {
+// regressions. It also applies only to benchmarks whose baseline ns/op
+// is at least timeFloor: a macro benchmark's single op spans millions
+// of instructions and averages the noise out even at -benchtime 1x,
+// while a microsecond-scale benchmark at 1x measures mostly the timer,
+// and routinely "regresses" 2-3x on a loaded machine. Benchmarks
+// present on only one side are reported but never fail the comparison
+// (suites grow and shrink).
+func compareReports(baseline, current *Report, tolerance, timeTolerance, timeFloor float64, w io.Writer) error {
 	base := make(map[string]Benchmark, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		base[benchKey(b)] = b
@@ -70,13 +75,20 @@ func compareReports(baseline, current *Report, tolerance, timeTolerance float64,
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tns/op\tB/op\tallocs/op")
 	var regressed []string
+	newCount := 0
 	seen := make(map[string]bool, len(current.Benchmarks))
 	for _, cur := range current.Benchmarks {
 		key := benchKey(cur)
 		seen[key] = true
 		old, ok := base[key]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t(new)\t\t\n", cur.Name)
+			// Absent from the baseline: a benchmark added by this PR.
+			// Report its absolute numbers — there is nothing to diff
+			// against — and never fail on it; the next bench-json run
+			// folds it into the committed baseline.
+			newCount++
+			fmt.Fprintf(tw, "%s\t%.0f ns (new)\t%.0f B\t%.0f allocs\n",
+				cur.Name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp)
 			continue
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", cur.Name,
@@ -88,7 +100,7 @@ func compareReports(baseline, current *Report, tolerance, timeTolerance float64,
 			regressed = append(regressed, fmt.Sprintf("%s (%.0f -> %.0f allocs/op)",
 				cur.Name, old.AllocsPerOp, cur.AllocsPerOp))
 		}
-		if timeTolerance > 0 {
+		if timeTolerance > 0 && old.NsPerOp >= timeFloor {
 			if pct, ok := pctDelta(old.NsPerOp, cur.NsPerOp); ok && pct > timeTolerance {
 				regressed = append(regressed, fmt.Sprintf("%s (%.0f -> %.0f ns/op, %+.1f%%)",
 					cur.Name, old.NsPerOp, cur.NsPerOp, pct))
@@ -102,6 +114,9 @@ func compareReports(baseline, current *Report, tolerance, timeTolerance float64,
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if newCount > 0 {
+		fmt.Fprintf(w, "%d new benchmark(s) not in baseline (reported only, never failing)\n", newCount)
 	}
 
 	if len(regressed) > 0 {

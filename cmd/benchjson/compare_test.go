@@ -33,7 +33,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}}
 	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 90, 1010, 101)}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 2, 0, &out); err != nil {
+	if err := compareReports(base, cur, 2, 0, 0, &out); err != nil {
 		t.Fatalf("1%% allocs growth under 2%% tolerance should pass: %v", err)
 	}
 	got := out.String()
@@ -54,7 +54,7 @@ func TestCompareRegressionFails(t *testing.T) {
 		bench("BenchmarkY-8", 100, 1000, 50),
 	}}
 	var out bytes.Buffer
-	err := compareReports(base, cur, 2, 0, &out)
+	err := compareReports(base, cur, 2, 0, 0, &out)
 	if err == nil {
 		t.Fatalf("+50%% allocs should fail; output:\n%s", out.String())
 	}
@@ -73,10 +73,10 @@ func TestCompareTimeTolerance(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}}
 	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 300, 1000, 100)}} // 3x slower
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 2, 0, &out); err != nil {
+	if err := compareReports(base, cur, 2, 0, 0, &out); err != nil {
 		t.Fatalf("time gate disabled: 3x slowdown must pass: %v", err)
 	}
-	err := compareReports(base, cur, 2, 50, &out)
+	err := compareReports(base, cur, 2, 50, 0, &out)
 	if err == nil {
 		t.Fatal("3x slowdown beyond 50%% time tolerance should fail")
 	}
@@ -85,7 +85,7 @@ func TestCompareTimeTolerance(t *testing.T) {
 	}
 
 	faster := &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 50, 1000, 100)}}
-	if err := compareReports(base, faster, 2, 50, &out); err != nil {
+	if err := compareReports(base, faster, 2, 50, 0, &out); err != nil {
 		t.Fatalf("a speedup must never trip the time gate: %v", err)
 	}
 }
@@ -94,8 +94,40 @@ func TestRunTimeToleranceFlag(t *testing.T) {
 	path := writeBaseline(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 1000, 100)}})
 	in := strings.NewReader("pkg: dynvote\nBenchmarkX-8   10   300 ns/op   1000 B/op   100 allocs/op\n")
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path, "-time-tolerance", "50"}, in, &out); err == nil {
+	if err := run([]string{"-baseline", path, "-time-tolerance", "50", "-time-floor", "0"}, in, &out); err == nil {
 		t.Fatalf("3x ns/op growth beyond -time-tolerance 50 should fail\n%s", out.String())
+	}
+	// With the default floor the same 100ns benchmark is below the
+	// macro threshold: its ns/op is timer noise, so the gate skips it.
+	in = strings.NewReader("pkg: dynvote\nBenchmarkX-8   10   300 ns/op   1000 B/op   100 allocs/op\n")
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-time-tolerance", "50"}, in, &out); err != nil {
+		t.Fatalf("sub-floor benchmark must not trip the time gate: %v\n%s", err, out.String())
+	}
+}
+
+// TestCompareTimeFloor: the ns/op gate only applies to benchmarks slow
+// enough for one op to average out timer and load noise.
+func TestCompareTimeFloor(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkMicro-8", 1000, 0, 0),   // 1µs: noise at 1x
+		bench("BenchmarkMacro-8", 200000, 0, 0), // 200µs: gated
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkMicro-8", 5000, 0, 0), // 5x "slower": ignored
+		bench("BenchmarkMacro-8", 210000, 0, 0),
+	}}
+	var out bytes.Buffer
+	if err := compareReports(base, cur, 2, 50, 50000, &out); err != nil {
+		t.Fatalf("micro-benchmark noise below the floor must pass: %v", err)
+	}
+	slower := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkMicro-8", 1000, 0, 0),
+		bench("BenchmarkMacro-8", 500000, 0, 0), // 2.5x slower: real
+	}}
+	err := compareReports(base, slower, 2, 50, 50000, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMacro-8") {
+		t.Fatalf("macro slowdown above the floor should fail naming it, got %v", err)
 	}
 }
 
@@ -105,7 +137,7 @@ func TestCompareZeroBaselineAllocs(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{bench("BenchmarkZ-8", 100, 0, 0)}}
 	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkZ-8", 100, 16, 1)}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 50, 0, &out); err == nil {
+	if err := compareReports(base, cur, 50, 0, 0, &out); err == nil {
 		t.Fatalf("0 -> 1 allocs/op should fail regardless of tolerance; output:\n%s", out.String())
 	}
 }
@@ -120,12 +152,20 @@ func TestCompareNewAndMissingBenchmarks(t *testing.T) {
 		bench("BenchmarkNew-8", 100, 1000, 100),
 	}}
 	var out bytes.Buffer
-	if err := compareReports(base, cur, 2, 0, &out); err != nil {
+	if err := compareReports(base, cur, 2, 0, 0, &out); err != nil {
 		t.Fatalf("suite membership changes alone must not fail: %v", err)
 	}
 	got := out.String()
 	if !strings.Contains(got, "BenchmarkNew-8") || !strings.Contains(got, "(new)") {
 		t.Errorf("output should flag the new benchmark:\n%s", got)
+	}
+	// The new benchmark's absolute numbers are reported — there is no
+	// baseline to diff against, but the values still belong in the diff.
+	if !strings.Contains(got, "100 ns (new)") || !strings.Contains(got, "100 allocs") {
+		t.Errorf("output should report the new benchmark's values:\n%s", got)
+	}
+	if !strings.Contains(got, "1 new benchmark(s) not in baseline") {
+		t.Errorf("output should summarize new benchmarks:\n%s", got)
 	}
 	if !strings.Contains(got, "BenchmarkOld-8") || !strings.Contains(got, "(only in baseline)") {
 		t.Errorf("output should flag the removed benchmark:\n%s", got)

@@ -37,6 +37,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	baseline := fs.String("baseline", "", "committed BENCH_<n>.json to diff against; exits non-zero on regression")
 	tolerance := fs.Float64("tolerance", 2, "allowed allocs/op growth percentage in compare mode")
 	timeTolerance := fs.Float64("time-tolerance", 0, "allowed ns/op growth percentage in compare mode (0 disables the time gate; ns/op is load-sensitive, so prefer generous thresholds)")
+	timeFloor := fs.Float64("time-floor", 50000, "ns/op gate applies only to benchmarks whose baseline ns/op is at least this (micro-benchmarks at -benchtime 1x are timer noise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +65,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareReports(base, report, *tolerance, *timeTolerance, stdout)
+		return compareReports(base, report, *tolerance, *timeTolerance, *timeFloor, stdout)
 	}
 	if *out == "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

@@ -48,6 +48,7 @@ func run(args []string) (err error) {
 		seed    = fs.Int64("seed", 20000505, "root random seed")
 		rates   = fs.String("rates", "", "comma-separated rate sweep (default 0..12)")
 		extras  = fs.Bool("extras", false, "run only the in-text measurements (scaling, paired, sizes)")
+		scaling = fs.Bool("scaling", false, "run only the N-scaling study (32..256 processes)")
 		studies = fs.Bool("studies", false, "run only the §5.1 extension studies (crash, change timing)")
 		noext   = fs.Bool("figures-only", false, "skip the in-text measurements")
 		verbose = fs.Bool("v", false, "per-case progress on stderr")
@@ -116,6 +117,13 @@ func run(args []string) (err error) {
 	}
 	if *studies {
 		if err := emitStudies(opts); err != nil {
+			return err
+		}
+		fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+		return writeReport()
+	}
+	if *scaling {
+		if err := emitScaling(opts, *out, nil); err != nil {
 			return err
 		}
 		fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
@@ -209,30 +217,13 @@ func emitFigure(spec experiment.FigureSpec, outDir string, report *experiment.Ru
 
 func emitExtras(opts experiment.Options, outDir string) error {
 	// Scaling check (§4.1): Figure 4-2's workload at 32, 48 and 64
-	// processes should give almost identical availability.
+	// processes should give almost identical availability. The same
+	// study extended out to 256 processes is -scaling / emitScaling.
 	fmt.Println("==== Scaling check (§4.1): 6 fresh changes at 32/48/64 processes ====")
 	fmt.Println()
-	scalingRates := []float64{1, 4, 8}
-	fmt.Printf("%-8s", "procs")
-	for _, r := range scalingRates {
-		fmt.Printf(" rate=%-9.0f", r)
+	if err := emitScaling(opts, "", []int{32, 48, 64}); err != nil {
+		return err
 	}
-	fmt.Println(" (ykd availability)")
-	for _, n := range []int{32, 48, 64} {
-		fmt.Printf("%-8d", n)
-		for _, rate := range scalingRates {
-			res, err := experiment.RunCase(experiment.CaseSpec{
-				Factory: algset.Availability()[0], Procs: n, Changes: 6,
-				MeanRounds: rate, Runs: opts.Runs, Mode: experiment.FreshStart, Seed: opts.Seed,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Printf(" %13.1f%%", res.Availability.Percent())
-		}
-		fmt.Println()
-	}
-	fmt.Println()
 
 	// Paired YKD vs DFLS (§4.1): YKD forms a primary where DFLS does
 	// not in ≈3% of runs at moderate-to-high rates.
@@ -279,6 +270,68 @@ func emitExtras(opts experiment.Options, outDir string) error {
 	_ = outDir
 	fmt.Println()
 	return nil
+}
+
+// emitScaling runs the N-scaling study — the §4.1 scaling check
+// extended past the thesis to 256 processes — printing the table and,
+// with an output directory, writing scaling.csv and scaling.svg. A nil
+// sizes slice selects the full 32..256 sweep.
+func emitScaling(opts experiment.Options, outDir string, sizes []int) error {
+	spec := experiment.ScalingStudySpec{
+		Sizes: sizes, Runs: opts.Runs, Seed: opts.Seed, Progress: opts.Progress,
+	}.Defaults()
+	rows, err := experiment.RunScalingStudy(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderScalingTable(spec, rows))
+	if outDir != "" {
+		name := filepath.Join(outDir, "scaling.csv")
+		if err := os.WriteFile(name, []byte(experiment.RenderScalingCSV(spec, rows)), 0o644); err != nil {
+			return err
+		}
+		svg, err := scalingSVG(spec, rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(outDir, "scaling.svg"), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scalingSVG renders the N-scaling study as a line chart: availability
+// against system size, one series per change rate.
+func scalingSVG(spec experiment.ScalingStudySpec, rows []experiment.ScalingRow) (string, error) {
+	if len(rows) == 0 {
+		return "", fmt.Errorf("scaling study produced no rows")
+	}
+	x := make([]float64, len(rows))
+	for i, row := range rows {
+		x[i] = float64(row.Procs)
+	}
+	chart := plot.LineChart{
+		Title:    "N-scaling study",
+		Subtitle: "ykd availability across system sizes (fresh starts)",
+		XLabel:   "processes",
+		YLabel:   "availability %",
+		X:        x,
+		YMin:     40, YMax: 100,
+	}
+	for ri := range rows[0].Points {
+		vals := make([]float64, len(rows))
+		for i, row := range rows {
+			vals[i] = row.Points[ri].Availability.Percent()
+			if vals[i] < chart.YMin {
+				chart.YMin = vals[i] - 5
+			}
+		}
+		chart.Series = append(chart.Series, plot.Series{
+			Name: fmt.Sprintf("rate=%g", spec.Rates[ri]), Values: vals,
+		})
+	}
+	return chart.Render()
 }
 
 // emitStudies runs the §5.1 future-work studies: one process crashing

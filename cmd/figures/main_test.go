@@ -85,3 +85,16 @@ func TestRunFigureWritesMetricsReport(t *testing.T) {
 			len(report.Cases), report.Metrics)
 	}
 }
+
+func TestRunScalingWritesFigure(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-scaling", "-runs", "3", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"scaling.csv", "scaling.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package campaign_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/campaign"
+	"dynvote/internal/core"
+	"dynvote/internal/experiment"
+)
+
+// TestCampaignStreamStability64 pins a small sharded 64-process
+// campaign's merged statistics to values captured BEFORE the multi-word
+// proc.Set representation change: the campaign's cascading chains must
+// keep consuming the exact same random draws at the thesis's system
+// size. See internal/experiment/stream_stability_test.go for the
+// contract; these constants are pre-PR goldens, not to be regenerated.
+func TestCampaignStreamStability64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign soak in -short mode")
+	}
+	defer experiment.SetParallelism(0)
+	experiment.SetParallelism(2)
+
+	ykdF, err := algset.ByName("ykd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dflsF, err := algset.ByName("dfls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(campaign.Config{
+		Factories: []core.Factory{ykdF, dflsF},
+		Procs:     64,
+		Changes:   120,
+		Segment:   12,
+		Rate:      1.5,
+		Seed:      20000505,
+		Chains:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{
+		"ykd changes=144 runs=12 formed=10 assertions=300",
+		"dfls changes=144 runs=12 formed=8 assertions=301",
+	} {
+		a := res.Algorithms[i]
+		got := fmt.Sprintf("%s changes=%d runs=%d formed=%d assertions=%d",
+			a.Algorithm, a.Changes, a.Runs, a.Formed, a.Assertions)
+		if got != want {
+			t.Errorf("campaign stream moved:\n got  %q\n want %q", got, want)
+		}
+	}
+}

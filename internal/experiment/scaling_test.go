@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudySmallSweep(t *testing.T) {
+	var progress []string
+	spec := ScalingStudySpec{
+		Sizes: []int{8, 16}, Rates: []float64{2}, Changes: 2, Runs: 10,
+		Progress: func(s string) { progress = append(progress, s) },
+	}
+	rows, err := RunScalingStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Procs != 8 || rows[1].Procs != 16 {
+		t.Fatalf("rows = %+v, want sizes 8 and 16", rows)
+	}
+	for _, row := range rows {
+		if len(row.Points) != 1 {
+			t.Fatalf("%d procs: %d points, want 1", row.Procs, len(row.Points))
+		}
+		if got := row.Points[0].Availability.Runs; got != 10 {
+			t.Errorf("%d procs: %d runs counted, want 10", row.Procs, got)
+		}
+	}
+	if len(progress) != 2 {
+		t.Errorf("progress lines = %d, want 2", len(progress))
+	}
+
+	table := RenderScalingTable(spec, rows)
+	for _, want := range []string{"procs", "rate=2", "\n8  ", "\n16 "} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := RenderScalingCSV(spec, rows)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "procs,rate_2" {
+		t.Errorf("csv = %q", csv)
+	}
+	if !strings.HasPrefix(lines[1], "8,") || !strings.HasPrefix(lines[2], "16,") {
+		t.Errorf("csv rows = %q", lines[1:])
+	}
+}
+
+// The default sweep must reach 256 processes — the contract the
+// README and DESIGN quote for the beyond-thesis scaling extension.
+func TestScalingDefaultsReach256(t *testing.T) {
+	spec := ScalingStudySpec{}.Defaults()
+	if spec.Sizes[0] != 32 || spec.Sizes[len(spec.Sizes)-1] != 256 {
+		t.Errorf("default sizes = %v, want 32..256", spec.Sizes)
+	}
+	if len(spec.Rates) != 3 || spec.Runs != 1000 || spec.Changes != 6 {
+		t.Errorf("defaults = %+v", spec)
+	}
+}

@@ -1,0 +1,92 @@
+package experiment_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynvote/internal/algset"
+	"dynvote/internal/experiment"
+)
+
+// Stream-stability goldens: the multi-word proc.Set representation (and
+// every later storage change) must leave 64-process runs bit-identical.
+// The fingerprints below were captured from the repository BEFORE the
+// representation widened past one inline word — they are the pre-PR
+// byte streams, frozen. A mismatch means a change altered either the
+// random draws a run consumes or the algorithms' observable behaviour
+// at the thesis's system size, which the availability figures would
+// silently inherit. Do NOT regenerate these constants to make the test
+// pass; a legitimate semantic change must say so explicitly and justify
+// why the thesis-scale streams moved.
+
+// caseFingerprint digests every deterministic field of a CaseResult.
+func caseFingerprint(res experiment.CaseResult) string {
+	return fmt.Sprintf("%s avail=%s stable[n=%d max=%d mean=%.4f] inprog[n=%d max=%d mean=%.4f] reform[n=%d max=%d mean=%.4f] never=%d",
+		res.Algorithm, res.Availability,
+		res.Stable.Total(), res.Stable.Max(), res.Stable.Mean(),
+		res.InProgress.Total(), res.InProgress.Max(), res.InProgress.Mean(),
+		res.Reform.Total(), res.Reform.Max(), res.Reform.Mean(),
+		res.NeverReformed)
+}
+
+// TestStreamStability64RunCase pins fresh-start and cascading RunCase
+// outputs for every algorithm at the thesis's 64 processes.
+func TestStreamStability64RunCase(t *testing.T) {
+	want := map[string]string{
+		"fresh/ykd":             "ykd avail=83.3% (25/30) stable[n=30 max=1 mean=0.1333] inprog[n=180 max=2 mean=0.2000] reform[n=25 max=2 mean=1.2400] never=5",
+		"fresh/ykd-unopt":       "ykd-unopt avail=83.3% (25/30) stable[n=30 max=1 mean=0.1667] inprog[n=180 max=3 mean=0.2278] reform[n=25 max=2 mean=1.2400] never=5",
+		"fresh/dfls":            "dfls avail=86.7% (26/30) stable[n=30 max=2 mean=0.1667] inprog[n=180 max=3 mean=0.4000] reform[n=26 max=2 mean=1.3462] never=4",
+		"fresh/1-pending":       "1-pending avail=73.3% (22/30) stable[n=30 max=1 mean=0.1333] inprog[n=180 max=1 mean=0.2222] reform[n=22 max=2 mean=1.5000] never=8",
+		"fresh/mr1p":            "mr1p avail=90.0% (27/30) stable[n=30 max=1 mean=0.1333] inprog[n=180 max=1 mean=0.3556] reform[n=27 max=4 mean=2.0000] never=3",
+		"fresh/simple-majority": "simple-majority avail=80.0% (24/30) stable[n=30 max=0 mean=0.0000] inprog[n=180 max=0 mean=0.0000] reform[n=24 max=0 mean=0.0000] never=6",
+		"cascading/ykd":         "ykd avail=90.0% (27/30) stable[n=30 max=2 mean=0.0667] inprog[n=180 max=2 mean=0.1833] reform[n=27 max=2 mean=1.1852] never=3",
+		"cascading/mr1p":        "mr1p avail=93.3% (28/30) stable[n=30 max=1 mean=0.1000] inprog[n=180 max=1 mean=0.3778] reform[n=28 max=4 mean=2.0714] never=2",
+	}
+	for _, f := range algset.All() {
+		modes := []experiment.Mode{experiment.FreshStart}
+		if f.Name == "ykd" || f.Name == "mr1p" {
+			modes = append(modes, experiment.Cascading)
+		}
+		for _, mode := range modes {
+			key := "fresh/" + f.Name
+			if mode == experiment.Cascading {
+				key = "cascading/" + f.Name
+			}
+			res, err := experiment.RunCase(experiment.CaseSpec{
+				Factory: f, Procs: 64, Changes: 6, MeanRounds: 4,
+				Runs: 30, Mode: mode, Seed: 20000505,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			if got := caseFingerprint(res); got != want[key] {
+				t.Errorf("%s stream moved:\n got  %q\n want %q", key, got, want[key])
+			}
+		}
+	}
+}
+
+// TestStreamStability64RunPaired pins the paired ykd-vs-dfls comparison.
+func TestStreamStability64RunPaired(t *testing.T) {
+	ykdF, err := algset.ByName("ykd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dflsF, err := algset.ByName("dfls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := experiment.RunPaired(ykdF, dflsF, experiment.CaseSpec{
+		Procs: 64, Changes: 6, MeanRounds: 6,
+		Runs: 30, Mode: experiment.FreshStart, Seed: 20000505,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("both=%d onlyFirst=%d onlySecond=%d neither=%d runs=%d",
+		pr.Both, pr.OnlyFirst, pr.OnlySecond, pr.Neither, pr.Runs)
+	const want = "both=26 onlyFirst=1 onlySecond=1 neither=2 runs=30"
+	if got != want {
+		t.Errorf("paired stream moved:\n got  %q\n want %q", got, want)
+	}
+}

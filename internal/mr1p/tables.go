@@ -11,11 +11,13 @@ import (
 // change. A soak triggers a view change per connectivity change, and
 // the map probes (hash, bucket walk) on every delivery dominated MR1p's
 // CPU profile once the allocation work was gone. The tables below are
-// small sorted slices — a view holds at most 64 reporters and a
-// resolution round references one or two target views — so a lookup is
-// a handful of word compares with an early exit, insertion keeps order
-// with a memmove, and clearing is a length truncation that retains the
-// backing array across view changes.
+// small sorted slices — a resolution round references one or two
+// target views, and a view holds at most the system's process count of
+// reporters — so a lookup is a binary search over a few cache lines,
+// insertion keeps order with a memmove, and clearing is a length
+// truncation that retains the backing array across view changes. The
+// insertion points are found by binary search so the tables stay cheap
+// at the scaling sweep's 128–256 reporters, not just the thesis's 64.
 
 // queryEntry is one round-1 report: who sent it and what they knew.
 type queryEntry struct {
@@ -39,10 +41,14 @@ func (t *queryTable) len() int { return len(t.entries) }
 // set inserts or overwrites the report from the given sender,
 // preserving ascending sender order.
 func (t *queryTable) set(from proc.ID, num int64, s status) {
-	i := 0
-	for ; i < len(t.entries); i++ {
-		if t.entries[i].from >= from {
-			break
+	// Binary search for the first entry with sender ≥ from.
+	i, hi := 0, len(t.entries)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if t.entries[mid].from < from {
+			i = mid + 1
+		} else {
+			hi = mid
 		}
 	}
 	if i < len(t.entries) && t.entries[i].from == from {
@@ -74,14 +80,18 @@ func (t *senderTable) reset() { t.entries = t.entries[:0] }
 // add records one sender for the target view and returns the updated
 // sender set.
 func (t *senderTable) add(id int64, p proc.ID) proc.Set {
-	i := 0
-	for ; i < len(t.entries); i++ {
-		if t.entries[i].id >= id {
-			break
+	// Binary search for the first entry with view ID ≥ id.
+	i, hi := 0, len(t.entries)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if t.entries[mid].id < id {
+			i = mid + 1
+		} else {
+			hi = mid
 		}
 	}
 	if i < len(t.entries) && t.entries[i].id == id {
-		t.entries[i].senders = t.entries[i].senders.With(p)
+		t.entries[i].senders.Add(p)
 		return t.entries[i].senders
 	}
 	t.entries = append(t.entries, senderEntry{})

@@ -58,6 +58,12 @@ type Topology struct {
 	comps      []proc.Set
 	crashed    proc.Set
 	nextViewID int64
+
+	// Index scratch reused by liveComponents and randomPartition so the
+	// per-change hot path stays allocation-free at any process count.
+	// Both are consumed before the next topology call, never retained.
+	liveScratch  []int
+	splitScratch []int
 }
 
 // New returns a topology over processes 0..n-1, fully connected, with
@@ -135,13 +141,18 @@ func (t *Topology) Crashed() proc.Set { return t.crashed }
 
 // liveComponents returns indices of components containing at least
 // one non-crashed process; only these participate in future changes.
+// The returned slice aliases a scratch buffer valid until the next
+// call.
 func (t *Topology) liveComponents() []int {
-	out := make([]int, 0, len(t.comps))
+	out := t.liveScratch[:0]
 	for i, c := range t.comps {
-		if c.Diff(t.crashed).Count() > 0 {
+		// Components are non-empty (CheckInvariant), so "not a subset
+		// of the crashed set" is exactly "has a live member".
+		if !c.SubsetOf(t.crashed) {
 			out = append(out, i)
 		}
 	}
+	t.liveScratch = out
 	return out
 }
 
@@ -226,12 +237,13 @@ func (t *Topology) RandomChange(r *rng.Source) (Change, bool) {
 // of processes which are moved ... is determined at random").
 func (t *Topology) randomPartition(r *rng.Source) Change {
 	// Choose uniformly among splittable components.
-	splittable := make([]int, 0, len(t.comps))
+	splittable := t.splitScratch[:0]
 	for i, c := range t.comps {
 		if c.Count() >= 2 {
 			splittable = append(splittable, i)
 		}
 	}
+	t.splitScratch = splittable
 	idx := splittable[r.Intn(len(splittable))]
 	comp := t.comps[idx]
 	size := comp.Count()
@@ -241,8 +253,8 @@ func (t *Topology) randomPartition(r *rng.Source) Change {
 	remaining := comp
 	for i := 0; i < moveCount; i++ {
 		pick := remaining.Nth(r.Intn(remaining.Count()))
-		moved = moved.With(pick)
-		remaining = remaining.Without(pick)
+		moved.Add(pick)
+		remaining.Remove(pick)
 	}
 
 	t.comps[idx] = remaining
@@ -298,9 +310,8 @@ func (t *Topology) MergeAll() (Change, bool) {
 		return Change{}, false
 	}
 	merged := t.universe.Diff(t.crashed)
-	comps := []proc.Set{merged}
-	t.crashed.ForEach(func(p proc.ID) { comps = append(comps, proc.NewSet(p)) })
-	t.comps = comps
+	t.comps = append(t.comps[:0], merged)
+	t.crashed.ForEach(func(p proc.ID) { t.comps = append(t.comps, proc.NewSet(p)) })
 	return Change{
 		Kind:     Merge,
 		NewViews: []view.View{{ID: t.issueID(), Members: merged}},

@@ -1,0 +1,185 @@
+package proc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file checks the multi-word Set against a map-based reference
+// model at the word-boundary sizes where the inline representation
+// changes shape: 63/64/65 (one word vs two) and 255/256/257 (the last
+// inline ID vs the overflow slice). Every exported query is compared
+// after every mutation, so a bit dropped by a word-parallel fast path
+// or a stale mirror between the inline array and the overflow slice
+// shows up as a model divergence, not a downstream simulation bug.
+
+// setModel is the reference: membership as a plain map.
+type setModel map[ID]bool
+
+func (m setModel) members() []ID {
+	out := make([]ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkAgainstModel compares every observable of s with the model.
+func checkAgainstModel(t *testing.T, s Set, m setModel, maxID int) {
+	t.Helper()
+	want := m.members()
+	if got := s.Count(); got != len(want) {
+		t.Fatalf("Count = %d, model has %d members", got, len(want))
+	}
+	got := s.Members()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, model = %v", got, want)
+		}
+	}
+	wantSmallest, wantMax := None, None
+	if len(want) > 0 {
+		wantSmallest, wantMax = want[0], want[len(want)-1]
+	}
+	if s.Smallest() != wantSmallest || s.Max() != wantMax {
+		t.Fatalf("Smallest/Max = %v/%v, model = %v/%v",
+			s.Smallest(), s.Max(), wantSmallest, wantMax)
+	}
+	// Probe membership a little beyond the domain to catch phantom bits.
+	for id := ID(0); id <= ID(maxID)+2; id++ {
+		if s.Contains(id) != m[id] {
+			t.Fatalf("Contains(%v) = %v, model = %v", id, s.Contains(id), m[id])
+		}
+	}
+	for i, id := range want {
+		if s.Nth(i) != id {
+			t.Fatalf("Nth(%d) = %v, model = %v", i, s.Nth(i), id)
+		}
+	}
+	if rt := SetFromWords(s.Words()); !rt.Equal(s) {
+		t.Fatalf("Words round trip diverged: %v vs %v", rt, s)
+	}
+	if rt := NewSet(s.Members()...); !rt.Equal(s) || rt.Key() != s.Key() {
+		t.Fatalf("Members round trip diverged: %v vs %v", rt, s)
+	}
+}
+
+// boundarySizes are the domains under test: one ID below, at, and
+// above each representation boundary.
+var boundarySizes = []int{63, 64, 65, 255, 256, 257}
+
+func TestSetModelMutations(t *testing.T) {
+	for _, maxID := range boundarySizes {
+		maxID := maxID
+		t.Run(ID(maxID).String(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(maxID)))
+			var s Set
+			m := setModel{}
+			for step := 0; step < 400; step++ {
+				id := ID(r.Intn(maxID + 1))
+				switch r.Intn(4) {
+				case 0:
+					s = s.With(id)
+					m[id] = true
+				case 1:
+					s = s.Without(id)
+					delete(m, id)
+				case 2:
+					s.Add(id)
+					m[id] = true
+				case 3:
+					s.Remove(id)
+					delete(m, id)
+				}
+				checkAgainstModel(t, s, m, maxID)
+			}
+		})
+	}
+}
+
+// TestSetModelAlgebra drives Union/Intersect/Diff/IntersectCount/
+// SubsetOf against the model on random pairs in each boundary domain.
+func TestSetModelAlgebra(t *testing.T) {
+	for _, maxID := range boundarySizes {
+		maxID := maxID
+		t.Run(ID(maxID).String(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(100 + maxID)))
+			for round := 0; round < 60; round++ {
+				ma, mb := setModel{}, setModel{}
+				var a, b Set
+				for i := 0; i < r.Intn(maxID+1); i++ {
+					id := ID(r.Intn(maxID + 1))
+					a.Add(id)
+					ma[id] = true
+				}
+				for i := 0; i < r.Intn(maxID+1); i++ {
+					id := ID(r.Intn(maxID + 1))
+					b.Add(id)
+					mb[id] = true
+				}
+				mu, mi, md := setModel{}, setModel{}, setModel{}
+				subset := true
+				for id := range ma {
+					mu[id] = true
+					if mb[id] {
+						mi[id] = true
+					} else {
+						md[id] = true
+						subset = false
+					}
+				}
+				for id := range mb {
+					mu[id] = true
+				}
+				checkAgainstModel(t, a.Union(b), mu, maxID)
+				checkAgainstModel(t, a.Intersect(b), mi, maxID)
+				checkAgainstModel(t, a.Diff(b), md, maxID)
+				if got := a.IntersectCount(b); got != len(mi) {
+					t.Fatalf("IntersectCount = %d, model = %d", got, len(mi))
+				}
+				if got := a.SubsetOf(b); got != subset {
+					t.Fatalf("SubsetOf = %v, model = %v", got, subset)
+				}
+				if got := a.Disjoint(b); got != (len(mi) == 0) {
+					t.Fatalf("Disjoint = %v, model = %v", got, len(mi) == 0)
+				}
+			}
+		})
+	}
+}
+
+// FuzzSetModel feeds arbitrary byte strings as mutation scripts: each
+// byte pair is (op, id). The fuzzer explores interleavings the random
+// tests cannot, especially around the 255/256 inline boundary where id
+// bytes saturate.
+func FuzzSetModel(f *testing.F) {
+	f.Add([]byte{0, 63, 0, 64, 0, 65, 1, 64})
+	f.Add([]byte{0, 255, 2, 0, 3, 255})
+	f.Add([]byte{2, 254, 2, 255, 3, 254, 1, 255, 0, 7})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var s Set
+		m := setModel{}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, id := script[i]%4, ID(script[i+1])
+			switch op {
+			case 0:
+				s = s.With(id)
+				m[id] = true
+			case 1:
+				s = s.Without(id)
+				delete(m, id)
+			case 2:
+				s.Add(id)
+				m[id] = true
+			case 3:
+				s.Remove(id)
+				delete(m, id)
+			}
+		}
+		checkAgainstModel(t, s, m, 257)
+	})
+}

@@ -4,8 +4,9 @@
 // sets of processes, and the "lexically smallest" tie-breaking rule of
 // dynamic linear voting needs a deterministic total order on processes.
 // IDs are small dense integers (the simulator numbers processes
-// 0..n-1); Set is a bitset whose first word is stored inline, so the
-// common 64-process configuration of the thesis performs every set
+// 0..n-1); Set is a bitset whose first InlineProcs bits live in a fixed
+// inline word array, so every configuration up to 256 processes — the
+// thesis's 64 and the scaling sweep's 128/256 — performs every set
 // operation without touching the heap.
 package proc
 
@@ -31,19 +32,35 @@ func (id ID) String() string { return "p" + strconv.Itoa(int(id)) }
 
 const wordBits = 64
 
+// inlineWords is the number of bitset words stored directly in the Set
+// struct. Four words cover 256 processes, comfortably past the scaling
+// sweep's largest configuration, before any operation allocates.
+const inlineWords = 4
+
+// InlineProcs is the largest process count whose sets live entirely in
+// a Set's fixed inline storage: sets over IDs below InlineProcs never
+// touch the heap.
+const InlineProcs = inlineWords * wordBits
+
 // Set is an immutable-by-convention set of process IDs backed by a
 // bitset. The zero value is the empty set. Mutating methods are
-// value-receiver and return new sets; nothing in this package mutates
-// a word slice after it is published, so sets may share overflow
-// storage freely.
+// value-receiver and return new sets; the in-place Add/Remove/Clear
+// variants mutate only the receiver's inline array and copy-on-write
+// any overflow storage, so published overflow words are never written
+// and sets may share them freely.
 //
-// Representation: word0 holds members 0..63 inline; rest holds words
-// for members 64 and up, kept trimmed of trailing zero words so that
-// Equal and Key are structural. Sets over at most 64 processes — every
-// configuration the thesis measures — therefore never allocate.
+// Representation: w holds members 0..InlineProcs-1. While the set has
+// no larger member, rest is nil. The moment a member ≥ InlineProcs
+// appears, rest holds the ENTIRE word list — word i covers IDs
+// [64i, 64i+63], rest[:inlineWords] mirrors w — trimmed of trailing
+// zero words (so rest is either nil or longer than inlineWords with a
+// nonzero last word, making Equal and Key structural). The mirror lets
+// the iteration hot paths (ForEach above all, which must stay within
+// the compiler's inlining budget) range over a single word slice with
+// no per-word source switching.
 type Set struct {
-	word0 uint64
-	rest  []uint64
+	w    [inlineWords]uint64
+	rest []uint64
 }
 
 // NewSet returns a set containing exactly the given IDs. Negative IDs
@@ -52,7 +69,7 @@ type Set struct {
 func NewSet(ids ...ID) Set {
 	var s Set
 	for _, id := range ids {
-		s = s.With(id)
+		s.Add(id)
 	}
 	return s
 }
@@ -62,138 +79,248 @@ func Universe(n int) Set {
 	if n <= 0 {
 		return Set{}
 	}
-	if n <= wordBits {
-		if n == wordBits {
-			return Set{word0: ^uint64(0)}
-		}
-		return Set{word0: (uint64(1) << n) - 1}
+	var s Set
+	nw := (n + wordBits - 1) / wordBits
+	words := s.w[:]
+	if nw > inlineWords {
+		s.rest = make([]uint64, nw)
+		words = s.rest
 	}
-	rest := make([]uint64, (n-1)/wordBits)
-	for i := range rest {
-		rest[i] = ^uint64(0)
+	for i := 0; i < nw; i++ {
+		words[i] = ^uint64(0)
 	}
 	if rem := n % wordBits; rem != 0 {
-		rest[len(rest)-1] = (uint64(1) << rem) - 1
+		words[nw-1] = (uint64(1) << rem) - 1
 	}
-	return Set{word0: ^uint64(0), rest: rest}
+	copy(s.w[:], s.rest)
+	return s
+}
+
+// setFromFull builds a Set from a full absolute word list, taking
+// ownership of the slice. Trailing zero words are trimmed; lists that
+// fit the inline array shed their overflow storage.
+func setFromFull(words []uint64) Set {
+	words = trimmed(words)
+	var s Set
+	copy(s.w[:], words)
+	if len(words) > inlineWords {
+		s.rest = words
+	}
+	return s
 }
 
 // With returns s ∪ {id}.
 func (s Set) With(id ID) Set {
+	if uint(id) < InlineProcs && len(s.rest) == 0 {
+		s.w[int(id)/wordBits] |= 1 << uint(int(id)%wordBits)
+		return s
+	}
+	return s.withSlow(id)
+}
+
+// withSlow is With's overflow path: the set already has overflow words
+// to mirror, or id itself lies beyond the inline bound. Kept out of
+// With so the inline fast path stays within the inlining budget.
+func (s Set) withSlow(id ID) Set {
 	if id < 0 {
 		panic("proc: negative ID")
 	}
-	if id < wordBits {
-		s.word0 |= 1 << uint(id)
-		return s
+	wi := int(id) / wordBits
+	rest := make([]uint64, max(len(s.rest), wi+1))
+	if len(s.rest) == 0 {
+		copy(rest, s.w[:])
+	} else {
+		copy(rest, s.rest)
 	}
-	w := int(id)/wordBits - 1
-	rest := make([]uint64, max(len(s.rest), w+1))
-	copy(rest, s.rest)
-	rest[w] |= 1 << uint(int(id)%wordBits)
-	s.rest = rest
-	return s
+	rest[wi] |= 1 << uint(int(id)%wordBits)
+	return setFromFull(rest)
 }
 
 // Without returns s \ {id}.
 func (s Set) Without(id ID) Set {
-	if !s.Contains(id) {
+	if uint(id) < InlineProcs && len(s.rest) == 0 {
+		s.w[int(id)/wordBits] &^= 1 << uint(int(id)%wordBits)
 		return s
 	}
-	if id < wordBits {
-		s.word0 &^= 1 << uint(id)
+	return s.withoutSlow(id)
+}
+
+// withoutSlow is Without's overflow path; see withSlow.
+func (s Set) withoutSlow(id ID) Set {
+	if !s.Contains(id) {
 		return s
 	}
 	rest := make([]uint64, len(s.rest))
 	copy(rest, s.rest)
-	rest[int(id)/wordBits-1] &^= 1 << uint(int(id)%wordBits)
-	s.rest = trimmed(rest)
-	return s
+	rest[int(id)/wordBits] &^= 1 << uint(int(id)%wordBits)
+	return setFromFull(rest)
 }
+
+// Add inserts id into s in place. On sets confined to the inline array
+// — every configuration up to InlineProcs processes — this mutates the
+// receiver's fixed storage with no allocation; sets with overflow
+// words copy-on-write them, so storage shared with other sets (value
+// copies, Union aliasing) is never written through.
+func (s *Set) Add(id ID) {
+	if uint(id) < InlineProcs && len(s.rest) == 0 {
+		s.w[int(id)/wordBits] |= 1 << uint(int(id)%wordBits)
+		return
+	}
+	*s = s.withSlow(id)
+}
+
+// Remove deletes id from s in place, under the same aliasing contract
+// as Add: inline-only sets are allocation-free, overflow sets
+// copy-on-write.
+func (s *Set) Remove(id ID) {
+	if uint(id) < InlineProcs && len(s.rest) == 0 {
+		s.w[int(id)/wordBits] &^= 1 << uint(int(id)%wordBits)
+		return
+	}
+	*s = s.withoutSlow(id)
+}
+
+// Clear empties s in place, dropping any overflow storage.
+func (s *Set) Clear() { *s = Set{} }
 
 // Contains reports whether id is a member of s.
 func (s Set) Contains(id ID) bool {
 	if id < 0 {
 		return false
 	}
-	if id < wordBits {
-		return s.word0&(1<<uint(id)) != 0
+	wi := int(id) / wordBits
+	if len(s.rest) != 0 {
+		return wi < len(s.rest) && s.rest[wi]&(1<<uint(int(id)%wordBits)) != 0
 	}
-	w := int(id)/wordBits - 1
-	return w < len(s.rest) && s.rest[w]&(1<<uint(int(id)%wordBits)) != 0
+	return wi < inlineWords && s.w[wi]&(1<<uint(int(id)%wordBits)) != 0
 }
 
 // Count returns |s|.
 func (s Set) Count() int {
-	n := bits.OnesCount64(s.word0)
-	for _, w := range s.rest {
-		n += bits.OnesCount64(w)
+	if len(s.rest) != 0 {
+		n := 0
+		for _, w := range s.rest {
+			n += bits.OnesCount64(w)
+		}
+		return n
 	}
-	return n
+	return bits.OnesCount64(s.w[0]) + bits.OnesCount64(s.w[1]) +
+		bits.OnesCount64(s.w[2]) + bits.OnesCount64(s.w[3])
 }
 
 // Empty reports whether s has no members.
 func (s Set) Empty() bool {
-	return s.word0 == 0 && len(s.rest) == 0
+	return s.w[0]|s.w[1]|s.w[2]|s.w[3] == 0 && len(s.rest) == 0
 }
 
 // Union returns s ∪ t.
 func (s Set) Union(t Set) Set {
-	s.word0 |= t.word0
-	switch {
-	case len(t.rest) == 0:
+	if len(s.rest) == 0 && len(t.rest) == 0 {
+		for i := range s.w {
+			s.w[i] |= t.w[i]
+		}
 		return s
-	case len(s.rest) == 0:
-		s.rest = t.rest // sharing is safe: words are never mutated in place
-		return s
+	}
+	return s.unionSlow(t)
+}
+
+// unionSlow handles unions where at least one side has overflow words.
+func (s Set) unionSlow(t Set) Set {
+	if len(s.rest) == 0 {
+		s, t = t, s
+	}
+	if len(t.rest) == 0 {
+		// t fits inline; if it adds nothing to s's mirrored low words,
+		// the union IS s (sharing s.rest is safe — published words are
+		// never mutated).
+		add := false
+		for i := range t.w {
+			if t.w[i]&^s.w[i] != 0 {
+				add = true
+				break
+			}
+		}
+		if !add {
+			return s
+		}
+		rest := make([]uint64, len(s.rest))
+		copy(rest, s.rest)
+		for i := range t.w {
+			rest[i] |= t.w[i]
+		}
+		return setFromFull(rest)
 	}
 	a, b := s.rest, t.rest
 	if len(b) > len(a) {
 		a, b = b, a
+	}
+	share := true
+	for i, w := range b {
+		if w&^a[i] != 0 {
+			share = false
+			break
+		}
+	}
+	if share {
+		out := Set{rest: a}
+		copy(out.w[:], a)
+		return out
 	}
 	rest := make([]uint64, len(a))
 	copy(rest, a)
 	for i, w := range b {
 		rest[i] |= w
 	}
-	s.rest = rest
-	return s
+	return setFromFull(rest)
 }
 
 // Intersect returns s ∩ t.
 func (s Set) Intersect(t Set) Set {
-	out := Set{word0: s.word0 & t.word0}
-	if n := min(len(s.rest), len(t.rest)); n > 0 {
-		rest := make([]uint64, n)
-		for i := 0; i < n; i++ {
-			rest[i] = s.rest[i] & t.rest[i]
+	if len(s.rest) == 0 || len(t.rest) == 0 {
+		// At least one side has no members ≥ InlineProcs, so neither
+		// does the intersection; both inline arrays are authoritative
+		// for everything below the bound.
+		var out Set
+		for i := range out.w {
+			out.w[i] = s.w[i] & t.w[i]
 		}
-		out.rest = trimmed(rest)
+		return out
 	}
-	return out
+	n := min(len(s.rest), len(t.rest))
+	rest := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		rest[i] = s.rest[i] & t.rest[i]
+	}
+	return setFromFull(rest)
 }
 
 // Diff returns s \ t.
 func (s Set) Diff(t Set) Set {
-	s.word0 &^= t.word0
 	if len(s.rest) == 0 {
+		for i := range s.w {
+			s.w[i] &^= t.w[i]
+		}
 		return s
 	}
-	if len(t.rest) == 0 {
-		return s
+	b := t.rest
+	if len(b) == 0 {
+		b = t.w[:]
 	}
 	rest := make([]uint64, len(s.rest))
 	copy(rest, s.rest)
-	for i := 0; i < len(rest) && i < len(t.rest); i++ {
-		rest[i] &^= t.rest[i]
+	for i := 0; i < len(rest) && i < len(b); i++ {
+		rest[i] &^= b[i]
 	}
-	s.rest = trimmed(rest)
-	return s
+	return setFromFull(rest)
 }
 
 // IntersectCount returns |s ∩ t| without allocating.
 func (s Set) IntersectCount(t Set) int {
-	c := bits.OnesCount64(s.word0 & t.word0)
+	if len(s.rest) == 0 || len(t.rest) == 0 {
+		return bits.OnesCount64(s.w[0]&t.w[0]) + bits.OnesCount64(s.w[1]&t.w[1]) +
+			bits.OnesCount64(s.w[2]&t.w[2]) + bits.OnesCount64(s.w[3]&t.w[3])
+	}
+	c := 0
 	n := min(len(s.rest), len(t.rest))
 	for i := 0; i < n; i++ {
 		c += bits.OnesCount64(s.rest[i] & t.rest[i])
@@ -201,16 +328,18 @@ func (s Set) IntersectCount(t Set) int {
 	return c
 }
 
-// InlineWord returns the inline first word of s and whether the set
-// fits entirely in it (no overflow words). Every configuration the
-// thesis measures is at most 64 processes, so callers like package
-// quorum use this as the precondition for single-word popcount
-// arithmetic that avoids the general per-word loops.
-func (s Set) InlineWord() (uint64, bool) { return s.word0, len(s.rest) == 0 }
+// InlineWords returns the fixed inline word array of s and whether the
+// set fits entirely in it (no overflow words). Every configuration up
+// to InlineProcs processes qualifies, so callers like package quorum
+// use this as the precondition for straight-line popcount arithmetic
+// that avoids the general variable-length word loops.
+func (s Set) InlineWords() ([inlineWords]uint64, bool) {
+	return s.w, len(s.rest) == 0
+}
 
 // Equal reports whether s and t have identical membership.
 func (s Set) Equal(t Set) bool {
-	if s.word0 != t.word0 || len(s.rest) != len(t.rest) {
+	if s.w != t.w || len(s.rest) != len(t.rest) {
 		return false
 	}
 	for i, w := range s.rest {
@@ -223,13 +352,24 @@ func (s Set) Equal(t Set) bool {
 
 // SubsetOf reports whether every member of s is in t.
 func (s Set) SubsetOf(t Set) bool {
-	if s.word0&^t.word0 != 0 {
-		return false
+	if len(s.rest) == 0 {
+		// s has no members ≥ InlineProcs; t's inline mirror covers
+		// everything that matters.
+		for i := range s.w {
+			if s.w[i]&^t.w[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	b := t.rest
+	if len(b) == 0 {
+		b = t.w[:]
 	}
 	for i, w := range s.rest {
 		var tw uint64
-		if i < len(t.rest) {
-			tw = t.rest[i]
+		if i < len(b) {
+			tw = b[i]
 		}
 		if w&^tw != 0 {
 			return false
@@ -245,12 +385,28 @@ func (s Set) Disjoint(t Set) bool { return s.IntersectCount(t) == 0 }
 // empty. This is the designated tie-breaker process of dynamic linear
 // voting.
 func (s Set) Smallest() ID {
-	if s.word0 != 0 {
-		return ID(bits.TrailingZeros64(s.word0))
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
 	}
-	for i, w := range s.rest {
+	for i, w := range words {
 		if w != 0 {
-			return ID((i+1)*wordBits + bits.TrailingZeros64(w))
+			return ID(i*wordBits + bits.TrailingZeros64(w))
+		}
+	}
+	return None
+}
+
+// Max returns the largest member of s, or None if s is empty. The
+// simulator sizes its per-process tables from the universe's Max.
+func (s Set) Max() ID {
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
+	}
+	for i := len(words) - 1; i >= 0; i-- {
+		if w := words[i]; w != 0 {
+			return ID(i*wordBits + wordBits - 1 - bits.LeadingZeros64(w))
 		}
 	}
 	return None
@@ -264,16 +420,13 @@ func (s Set) Members() []ID {
 // AppendMembers appends the IDs in ascending order to dst and returns
 // the extended slice, letting hot paths reuse a caller-owned buffer.
 func (s Set) AppendMembers(dst []ID) []ID {
-	for w := s.word0; w != 0; {
-		b := bits.TrailingZeros64(w)
-		dst = append(dst, ID(b))
-		w &^= 1 << uint(b)
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
 	}
-	for i, w := range s.rest {
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
-			dst = append(dst, ID((i+1)*wordBits+b))
-			w &^= 1 << uint(b)
+	for i, rw := range words {
+		for w := rw; w != 0; w &= w - 1 {
+			dst = append(dst, ID(i*wordBits+bits.TrailingZeros64(w)))
 		}
 	}
 	return dst
@@ -282,20 +435,19 @@ func (s Set) AppendMembers(dst []ID) []ID {
 // ForEach calls fn for each member in ascending order. The body is
 // deliberately kept within the compiler's inlining budget: the
 // simulator calls ForEach with closures on its hottest paths, and
-// inlining both the loop and the closure is worth ~20% of a run
-// (w &= w-1 clears the lowest set bit with fewer IR nodes than the
-// shift-and-clear form).
+// inlining both the loop and the closure is worth ~20% of a run. The
+// full-list mirror invariant exists for exactly this function — one
+// range loop over one slice, no per-word source switching (w &= w-1
+// clears the lowest set bit with fewer IR nodes than shift-and-clear).
 func (s Set) ForEach(fn func(ID)) {
-	w, base := s.word0, 0
-	for i := 0; ; i++ {
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
+	}
+	for i, w := range words {
 		for ; w != 0; w &= w - 1 {
-			fn(ID(base + bits.TrailingZeros64(w)))
+			fn(ID(i*wordBits + bits.TrailingZeros64(w)))
 		}
-		if i >= len(s.rest) {
-			return
-		}
-		w = s.rest[i]
-		base += wordBits
 	}
 }
 
@@ -305,15 +457,14 @@ func (s Set) Nth(n int) ID {
 	if n < 0 {
 		return None
 	}
-	if c := bits.OnesCount64(s.word0); n < c {
-		return nthInWord(s.word0, n, 0)
-	} else {
-		n -= c
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
 	}
-	for i, w := range s.rest {
+	for i, w := range words {
 		c := bits.OnesCount64(w)
 		if n < c {
-			return nthInWord(w, n, (i+1)*wordBits)
+			return nthInWord(w, n, i*wordBits)
 		}
 		n -= c
 	}
@@ -333,15 +484,14 @@ func nthInWord(w uint64, n, base int) ID {
 }
 
 // Key returns a comparable representation of s, usable as a map key.
-// Sets over at most 192 processes fit without allocation beyond the
-// struct itself; the thesis simulates at most 64.
+// Sets over at most InlineProcs processes fit in the fixed array with
+// no string building; larger sets encode every overflow word — zeros
+// included, so word position is unambiguous — into the overflow
+// string.
 func (s Set) Key() Key {
-	k := Key{w: [3]uint64{s.word0}}
-	for i, w := range s.rest {
-		switch {
-		case i < 2:
-			k.w[i+1] = w
-		case w != 0:
+	k := Key{w: s.w}
+	if len(s.rest) > inlineWords {
+		for _, w := range s.rest[inlineWords:] {
 			k.overflow += "," + strconv.FormatUint(w, 16)
 		}
 	}
@@ -350,34 +500,45 @@ func (s Set) Key() Key {
 
 // Key is a comparable digest of a Set; see Set.Key.
 type Key struct {
-	w        [3]uint64
+	w        [inlineWords]uint64
 	overflow string
 }
 
 // Words exposes the raw bitset words (a copy) for wire encoding. The
 // result is trimmed of trailing zero words; the empty set yields an
-// empty slice.
+// empty slice. The layout — word i covers IDs [64i, 64i+63] — is
+// independent of the inline/overflow split, so encodings are stable
+// across representation changes.
 func (s Set) Words() []uint64 {
-	if s.Empty() {
+	if len(s.rest) != 0 {
+		out := make([]uint64, len(s.rest))
+		copy(out, s.rest)
+		return out
+	}
+	nw := inlineWords
+	for nw > 0 && s.w[nw-1] == 0 {
+		nw--
+	}
+	if nw == 0 {
 		return nil
 	}
-	out := make([]uint64, 1+len(s.rest))
-	out[0] = s.word0
-	copy(out[1:], s.rest)
+	out := make([]uint64, nw)
+	copy(out, s.w[:nw])
 	return out
 }
 
 // SetFromWords builds a Set from raw bitset words, copying them.
 func SetFromWords(words []uint64) Set {
-	if len(words) == 0 {
-		return Set{}
+	words = trimmed(words)
+	var s Set
+	if len(words) <= inlineWords {
+		copy(s.w[:], words)
+		return s
 	}
-	s := Set{word0: words[0]}
-	if len(words) > 1 {
-		rest := make([]uint64, len(words)-1)
-		copy(rest, words[1:])
-		s.rest = trimmed(rest)
-	}
+	rest := make([]uint64, len(words))
+	copy(rest, words)
+	copy(s.w[:], rest)
+	s.rest = rest
 	return s
 }
 

@@ -266,6 +266,42 @@ func BenchmarkIntersectCount64(b *testing.B) {
 	}
 }
 
+// The 256-process benchmarks pin the multi-word inline path at the
+// scaling sweep's largest system size: word-parallel loops over the
+// full inline array, still zero heap traffic.
+
+func BenchmarkIntersectCount256(b *testing.B) {
+	x := Universe(256)
+	y := NewSet(0, 5, 9, 33, 63, 64, 127, 128, 200, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectCount(y)
+	}
+}
+
+var benchSink int
+
+func BenchmarkForEach256(b *testing.B) {
+	s := Universe(256)
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(id ID) { n += int(id) })
+	}
+	benchSink = n
+}
+
+var benchSinkSet Set
+
+func BenchmarkUnion256(b *testing.B) {
+	x := Universe(128)
+	y := Universe(256).Diff(Universe(100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSinkSet = x.Union(y)
+	}
+}
+
 // TestSmallSetOpsAllocationFree pins the inline fast path: every set
 // operation on sets of ≤64 processes must stay off the heap. This is
 // the perf contract the simulator's hot loop depends on.

@@ -8,10 +8,12 @@
 // majority rule against the original process set.
 //
 // Both predicates sit on the simulator's hottest path — every DECIDE,
-// every resolution tally — so the ≤64-process case (every configuration
-// the thesis measures) is special-cased to a couple of inline popcounts
-// over the sets' single inline words, skipping the general multi-word
-// loops entirely.
+// every resolution tally — so the ≤256-process case (every thesis
+// configuration plus the scaling sweep) is special-cased to
+// straight-line popcounts over the sets' fixed inline word arrays.
+// Beyond that, the general path still runs word-parallel popcount
+// loops (Count/IntersectCount/Smallest); quorum evaluation never
+// iterates set elements one by one.
 package quorum
 
 import (
@@ -30,19 +32,30 @@ import (
 // An empty y has no subquorums: with no previous membership to anchor
 // to, no group may claim succession.
 func SubQuorum(x, y proc.Set) bool {
-	if yw, ok := y.InlineWord(); ok {
-		if xw, ok := x.InlineWord(); ok {
-			total := bits.OnesCount64(yw)
+	if yw, ok := y.InlineWords(); ok {
+		if xw, ok := x.InlineWords(); ok {
+			total := bits.OnesCount64(yw[0]) + bits.OnesCount64(yw[1]) +
+				bits.OnesCount64(yw[2]) + bits.OnesCount64(yw[3])
 			if total == 0 {
 				return false
 			}
-			common := bits.OnesCount64(xw & yw)
+			common := bits.OnesCount64(xw[0]&yw[0]) + bits.OnesCount64(xw[1]&yw[1]) +
+				bits.OnesCount64(xw[2]&yw[2]) + bits.OnesCount64(xw[3]&yw[3])
 			if 2*common > total {
 				return true
 			}
-			// yw & -yw isolates y's lowest set bit — its lexically
-			// smallest member, the dynamic linear voting tie-breaker.
-			return 2*common == total && xw&(yw&-yw) != 0
+			if 2*common != total {
+				return false
+			}
+			// The first nonzero word of y holds its lexically smallest
+			// member; w & -w isolates that lowest set bit — the dynamic
+			// linear voting tie-breaker — which must also be in x.
+			for i, w := range yw {
+				if w != 0 {
+					return xw[i]&(w&-w) != 0
+				}
+			}
+			return false
 		}
 	}
 	total := y.Count()
@@ -58,10 +71,13 @@ func SubQuorum(x, y proc.Set) bool {
 
 // Majority reports whether x holds a strict majority of y.
 func Majority(x, y proc.Set) bool {
-	if yw, ok := y.InlineWord(); ok {
-		if xw, ok := x.InlineWord(); ok {
-			total := bits.OnesCount64(yw)
-			return total > 0 && 2*bits.OnesCount64(xw&yw) > total
+	if yw, ok := y.InlineWords(); ok {
+		if xw, ok := x.InlineWords(); ok {
+			total := bits.OnesCount64(yw[0]) + bits.OnesCount64(yw[1]) +
+				bits.OnesCount64(yw[2]) + bits.OnesCount64(yw[3])
+			common := bits.OnesCount64(xw[0]&yw[0]) + bits.OnesCount64(xw[1]&yw[1]) +
+				bits.OnesCount64(xw[2]&yw[2]) + bits.OnesCount64(xw[3]&yw[3])
+			return total > 0 && 2*common > total
 		}
 	}
 	total := y.Count()

@@ -8,8 +8,10 @@ import (
 )
 
 // SubQuorum and Majority sit on every algorithm's view-change path; the
-// single-word popcount fast path must stay a handful of instructions.
-// The >64-proc variants exercise the general word-walk fallback.
+// inline popcount fast path must stay a handful of instructions. The
+// multi-word variants exercise membership spanning several of the four
+// inline words; the overflow variants (>256 procs) exercise the general
+// word-walk fallback.
 
 var sink bool
 
@@ -43,6 +45,24 @@ func BenchmarkSubQuorumMultiWord(b *testing.B) {
 func BenchmarkMajorityMultiWord(b *testing.B) {
 	old := proc.Universe(130)
 	new_ := proc.Universe(70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.Majority(new_, old)
+	}
+}
+
+func BenchmarkSubQuorumOverflow(b *testing.B) {
+	old := proc.Universe(300)
+	new_ := proc.Universe(160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.SubQuorum(new_, old)
+	}
+}
+
+func BenchmarkMajorityOverflow(b *testing.B) {
+	old := proc.Universe(300)
+	new_ := proc.Universe(160)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink = quorum.Majority(new_, old)

@@ -62,12 +62,29 @@ func TestDeliveryLoopAllocFree(t *testing.T) {
 	}
 }
 
+// TestDeliveryLoopAllocFree256 is the same pin at the scaling sweep's
+// largest system size: 256 processes stay within proc.Set's inline
+// words, so the steady-state loop must stay allocation-free there too.
+func TestDeliveryLoopAllocFree256(t *testing.T) {
+	c := sim.NewCluster(chatterFactory(), 256)
+	r := rng.New(17)
+	c.Round(r)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		c.Collect(r)
+		c.DeliverAll(r)
+	})
+	if allocs != 0 {
+		t.Errorf("256-proc collect/deliver round allocates %.1f times, want 0", allocs)
+	}
+}
+
 // TestDriverResetAllocFree pins Driver.Reset — cluster, topology and
 // all algorithm instances — at zero allocations for every algorithm in
 // the study. The first reset after a run drains queues and clears the
 // dirtied maps (covered by AllocsPerRun's warm-up call); the measured
 // iterations keep exercising the full reset path on the settled
-// driver. Procs stays ≤ 64 so proc.Universe builds inline sets.
+// driver.
 func TestDriverResetAllocFree(t *testing.T) {
 	const runs = 20
 	for _, f := range algset.All() {
@@ -91,6 +108,38 @@ func TestDriverResetAllocFree(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Errorf("%s: Driver.Reset allocates %.1f times, want 0", f.Name, allocs)
+			}
+		})
+	}
+}
+
+// TestDriverResetAllocFree256 repeats the reset pin at 256 processes,
+// where every membership set spans all four inline words. Changes is
+// kept small — the property under test is the reset path, not the run.
+func TestDriverResetAllocFree256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-proc warm-up runs are slow")
+	}
+	const runs = 5
+	for _, f := range algset.All() {
+		t.Run(f.Name, func(t *testing.T) {
+			cfg := sim.Config{Procs: 256, Changes: 2, MeanRounds: 1}
+			root := rng.New(59)
+			srcs := make([]*rng.Source, runs+2)
+			for i := range srcs {
+				srcs[i] = root.ChildLabel("alloc256", int64(i))
+			}
+			d := sim.NewDriver(f, cfg, srcs[0])
+			if _, err := d.Run(); err != nil {
+				t.Fatalf("warm-up run: %v", err)
+			}
+			i := 1
+			allocs := testing.AllocsPerRun(runs, func() {
+				d.Reset(srcs[i])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s: 256-proc Driver.Reset allocates %.1f times, want 0", f.Name, allocs)
 			}
 		})
 	}

@@ -57,11 +57,12 @@ type Cluster struct {
 	// Hot-path scratch storage. A run delivers hundreds of thousands
 	// of envelopes; recycling them (and the per-view recipient lists)
 	// keeps the steady-state delivery loop allocation-free.
-	free          []*envelope // recycled envelopes with reusable recipient slices
-	recipBase     [][]proc.ID // per-sender members-minus-sender, ascending order
-	recipView     []int64     // view ID each recipBase entry was built for (-1: none)
-	memberScratch []proc.ID   // IssueViews shuffle buffer
-	viewsOut      []view.View // CurrentViews result, reused per call
+	free          []*envelope        // recycled envelopes with reusable recipient slices
+	recipBase     [][]proc.ID        // per-sender members-minus-sender, ascending order
+	recipView     []int64            // view ID each recipBase entry was built for (-1: none)
+	memberScratch []proc.ID          // IssueViews shuffle buffer
+	viewsOut      []view.View        // CurrentViews result, reused per call
+	viewSeen      map[int64]struct{} // CurrentViews dedup fallback, reused
 
 	// Drop, when non-nil, filters individual deliveries (tests only).
 	Drop DropFilter
@@ -452,31 +453,56 @@ func (c *Cluster) Quiescent() bool { return c.pending == 0 }
 // issued to members in contiguous ID ranges so consecutive processes
 // usually share a view (the recent-ID check catches them in one
 // compare), and the distinct-view count is bounded by the component
-// count — a handful — so the fallback linear scan stays a few word
+// count — usually a handful — so the linear scan stays a few word
 // compares. The old map probe per process dominated the checker's
-// profile in long soaks.
+// profile in long soaks. Only when a run shatters into many components
+// (large-N topologies can hold dozens of singletons) does the dedup
+// switch to a reused hash set, keeping the call linear in the process
+// count rather than quadratic in the component count.
 func (c *Cluster) CurrentViews() []view.View {
+	// Past this many distinct views, linear rescans cost more than
+	// hashing; build the map fallback once and use it from there on.
+	const linearScanMax = 16
 	out := c.viewsOut[:0]
+	var seen map[int64]struct{}
 	last := int64(-1) // view IDs issued by netsim are non-negative
 	for p := 0; p < c.n; p++ {
 		if c.crashed.Contains(proc.ID(p)) {
 			continue
 		}
-		v := c.cur[p]
+		v := &c.cur[p]
 		if v.ID == last {
 			continue
 		}
-		seen := false
+		last = v.ID
+		if seen == nil && len(out) > linearScanMax {
+			if c.viewSeen == nil {
+				c.viewSeen = make(map[int64]struct{}, 2*linearScanMax)
+			} else {
+				clear(c.viewSeen)
+			}
+			seen = c.viewSeen
+			for i := range out {
+				seen[out[i].ID] = struct{}{}
+			}
+		}
+		if seen != nil {
+			if _, dup := seen[v.ID]; !dup {
+				seen[v.ID] = struct{}{}
+				out = append(out, *v)
+			}
+			continue
+		}
+		dup := false
 		for i := range out {
 			if out[i].ID == v.ID {
-				seen = true
+				dup = true
 				break
 			}
 		}
-		if !seen {
-			out = append(out, v)
+		if !dup {
+			out = append(out, *v)
 		}
-		last = v.ID
 	}
 	c.viewsOut = out
 	return out

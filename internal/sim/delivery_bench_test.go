@@ -1,0 +1,31 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynvote/internal/rng"
+	"dynvote/internal/sim"
+)
+
+// BenchmarkCollectDeliver measures one steady-state collect/deliver
+// round of the maximum-traffic chatter workload. The 64-process point
+// is the thesis's system size; 256 is the top of the scaling sweep and
+// the widest membership the inline proc.Set representation covers.
+// Both must report 0 allocs/op — the benchmarked counterpart of the
+// TestDeliveryLoopAllocFree* pins.
+func BenchmarkCollectDeliver(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			c := sim.NewCluster(chatterFactory(), n)
+			r := rng.New(17)
+			c.Round(r) // grow pools and caches to steady-state capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Collect(r)
+				c.DeliverAll(r)
+			}
+		})
+	}
+}

@@ -68,13 +68,19 @@ func (a *Algorithm) Restore(data []byte) error {
 	if nf > maxListLen {
 		return fmt.Errorf("ykd: snapshot formed-group count %d too large", nf)
 	}
-	lastFormed := make([]view.Session, len(a.lastFormed))
+	// Rebuild the interned table: one dictionary entry per wire group,
+	// index rows pointing at it. Entry 0 stays the zero Session for
+	// processes no group mentions.
+	formedIdx := make([]int32, len(a.formedIdx))
+	formedDict := make([]view.Session, 1, 1+int(nf))
 	for i := uint64(0); i < nf && r.Err() == nil; i++ {
 		s := r.Session()
 		who := r.Set()
+		idx := int32(len(formedDict))
+		formedDict = append(formedDict, s)
 		who.ForEach(func(q proc.ID) {
-			if int(q) < len(lastFormed) {
-				lastFormed[q] = s
+			if int(q) < len(formedIdx) {
+				formedIdx[q] = idx
 			}
 		})
 	}
@@ -95,7 +101,8 @@ func (a *Algorithm) Restore(data []byte) error {
 
 	a.lastPrimary = lastPrimary
 	a.sessionNumber = sessionNumber
-	a.lastFormed = lastFormed
+	a.formedIdx = formedIdx
+	a.formedDict = formedDict
 	a.ambiguous = ambiguous
 	// A recovered process is alone until the membership service says
 	// otherwise, and certainly not in a primary.

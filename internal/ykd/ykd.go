@@ -114,9 +114,22 @@ type Algorithm struct {
 	self    proc.ID
 	initial view.Session // the thesis's W, session number 0
 
-	// Durable state (thesis §3.1).
+	// Durable state (thesis §3.1). The lastFormed table is stored
+	// interned: lastFormed(q) == formedDict[formedIdx[q]], with
+	// formedDict[0] pinned to the zero Session so a zeroed index row
+	// reads as "no entry". The table holds only a handful of distinct
+	// sessions at any moment (every entry starts at the initial session
+	// and is only ever replaced by a newer formed primary), so storing
+	// 4-byte indices instead of Session values keeps the per-instance
+	// footprint — and the New/Reset construction cost — proportional to
+	// the process count rather than count × session size, which matters
+	// once Session carries a multi-word member set.
 	lastPrimary   view.Session
-	lastFormed    []view.Session // indexed by proc.ID
+	formedIdx     []int32         // indexed by proc.ID
+	formedDict    []view.Session  // distinct lastFormed values; [0] is zero
+	formedStore   [8]view.Session // formedDict's initial backing; no alloc until 9 distinct
+	formedSpare   []view.Session  // compaction double buffer
+	formedRemap   []int32         // compaction scratch
 	ambiguous     []view.Session
 	sessionNumber int64
 	inPrimary     bool
@@ -179,25 +192,63 @@ var (
 // primary everyone starts in, carrying session number zero.
 func New(variant Variant, self proc.ID, initial view.View) *Algorithm {
 	w := view.NewSession(0, initial)
-	maxID := 0
-	initial.Members.ForEach(func(id proc.ID) {
-		if int(id) > maxID {
-			maxID = int(id)
-		}
-	})
-	lastFormed := make([]view.Session, maxID+1)
-	initial.Members.ForEach(func(id proc.ID) { lastFormed[id] = w })
-	return &Algorithm{
+	maxID := int(initial.Members.Max())
+	if maxID < 0 {
+		maxID = 0
+	}
+	a := &Algorithm{
 		variant:     variant,
 		self:        self,
 		initial:     w,
 		lastPrimary: w,
-		lastFormed:  lastFormed,
+		formedIdx:   make([]int32, maxID+1),
 		inPrimary:   true,
 		cur:         initial,
 		phase:       phaseIdle,
 		states:      make([]*StateMessage, maxID+1),
 	}
+	a.formedDict = a.formedStore[:1]
+	wi := a.internFormed(w)
+	initial.Members.ForEach(func(id proc.ID) { a.formedIdx[id] = wi })
+	return a
+}
+
+// internFormed returns s's index in the lastFormed dictionary,
+// appending it if absent. The dictionary stays small (resolveAndDecide
+// compacts it), so a linear Equal scan beats hashing.
+func (a *Algorithm) internFormed(s view.Session) int32 {
+	for i := range a.formedDict {
+		if a.formedDict[i].Equal(s) {
+			return int32(i)
+		}
+	}
+	a.formedDict = append(a.formedDict, s)
+	return int32(len(a.formedDict) - 1)
+}
+
+// compactFormedDict rewrites the dictionary to just the entries some
+// index row still references, so superseded sessions don't accumulate
+// across a long run. Both the replacement dictionary and the remap
+// table are double-buffered; steady state allocates nothing.
+func (a *Algorithm) compactFormedDict() {
+	old := a.formedDict
+	remap := a.formedRemap[:0]
+	for range old {
+		remap = append(remap, -1)
+	}
+	remap[0] = 0
+	newDict := append(a.formedSpare[:0], view.Session{})
+	for i, j := range a.formedIdx {
+		if remap[j] < 0 {
+			remap[j] = int32(len(newDict))
+			newDict = append(newDict, old[j])
+		}
+		a.formedIdx[i] = remap[j]
+	}
+	a.formedRemap = remap
+	clear(old[:cap(old)])
+	a.formedSpare = old[:0]
+	a.formedDict = newDict
 }
 
 // Factory returns the host-facing description of the given variant.
@@ -237,22 +288,23 @@ func (a *Algorithm) LastPrimary() view.Session { return a.lastPrimary }
 // buffers so a reset instance pins nothing from its previous life.
 func (a *Algorithm) Reset(self proc.ID, initial view.View) {
 	w := view.NewSession(0, initial)
-	maxID := 0
-	initial.Members.ForEach(func(id proc.ID) {
-		if int(id) > maxID {
-			maxID = int(id)
-		}
-	})
+	maxID := int(initial.Members.Max())
+	if maxID < 0 {
+		maxID = 0
+	}
 	a.self = self
 	a.initial = w
 	a.lastPrimary = w
-	if cap(a.lastFormed) < maxID+1 {
-		a.lastFormed = make([]view.Session, maxID+1)
+	if cap(a.formedIdx) < maxID+1 {
+		a.formedIdx = make([]int32, maxID+1)
 	} else {
-		a.lastFormed = a.lastFormed[:maxID+1]
-		clear(a.lastFormed)
+		a.formedIdx = a.formedIdx[:maxID+1]
+		clear(a.formedIdx)
 	}
-	initial.Members.ForEach(func(id proc.ID) { a.lastFormed[id] = w })
+	clear(a.formedDict[:cap(a.formedDict)])
+	a.formedDict = a.formedDict[:1]
+	wi := a.internFormed(w)
+	initial.Members.ForEach(func(id proc.ID) { a.formedIdx[id] = wi })
 	a.ambiguous = a.ambiguous[:0]
 	a.sessionNumber = 0
 	a.inPrimary = true
@@ -361,14 +413,14 @@ func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 	// sessions carry distinct numbers, so the number keys the group.
 	groups := a.groupScratch[:0]
 	a.initial.Members.ForEach(func(q proc.ID) {
-		s := a.lastFormed[q]
+		s := &a.formedDict[a.formedIdx[q]]
 		for i := range groups {
 			if groups[i].s.Number == s.Number {
-				groups[i].who = groups[i].who.With(q)
+				groups[i].who.Add(q)
 				return
 			}
 		}
-		groups = append(groups, formedGroup{s: s, who: proc.NewSet(q)})
+		groups = append(groups, formedGroup{s: *s, who: proc.NewSet(q)})
 	})
 	a.groupScratch = groups
 	formed := make([]FormedEntry, len(groups))
@@ -402,6 +454,9 @@ func (a *Algorithm) acceptState(from proc.ID, st *StateMessage) {
 // and — on a positive decision — the attempt broadcast.
 func (a *Algorithm) resolveAndDecide() {
 	v := a.cur
+	if len(a.formedDict) >= 16 {
+		a.compactFormedDict()
+	}
 
 	// COMPUTE maxSession and maxPrimary while applying ACCEPT.
 	maxSession := a.sessionNumber
@@ -414,9 +469,9 @@ func (a *Algorithm) resolveAndDecide() {
 		if st.LastPrimary.Number > maxPrimary.Number {
 			maxPrimary = st.LastPrimary
 		}
-		a.acceptFormed(st.LastPrimary)
-		for _, fe := range st.Formed {
-			a.acceptFormed(fe.Session)
+		a.acceptFormed(&st.LastPrimary)
+		for i := range st.Formed {
+			a.acceptFormed(&st.Formed[i].Session)
 		}
 	})
 
@@ -536,24 +591,31 @@ func (a *Algorithm) provablyUnformed(s view.Session) bool {
 }
 
 // acceptFormed applies the ACCEPT rule for one formed-session report.
-func (a *Algorithm) acceptFormed(s view.Session) {
+// The session is passed by pointer purely to avoid copying it on this,
+// the hottest call in a state exchange; it is not retained or mutated.
+func (a *Algorithm) acceptFormed(s *view.Session) {
 	if !s.Contains(a.self) {
 		return
 	}
-	for _, c := range a.appliedFormed {
+	for i := range a.appliedFormed {
+		c := &a.appliedFormed[i]
 		if c.Number == s.Number && c.Members.Equal(s.Members) {
 			return // already applied; entries only rise, so this is a no-op
 		}
 	}
 	if s.Number > a.lastPrimary.Number {
-		a.lastPrimary = s
+		a.lastPrimary = *s
 	}
+	idx := int32(-1) // interned lazily: only if some entry actually rises
 	s.Members.ForEach(func(q proc.ID) {
-		if int(q) < len(a.lastFormed) && s.Number > a.lastFormed[q].Number {
-			a.lastFormed[q] = s
+		if int(q) < len(a.formedIdx) && s.Number > a.formedDict[a.formedIdx[q]].Number {
+			if idx < 0 {
+				idx = a.internFormed(*s)
+			}
+			a.formedIdx[q] = idx
 		}
 	})
-	a.appliedFormed[a.appliedNext] = s
+	a.appliedFormed[a.appliedNext] = *s
 	a.appliedNext = (a.appliedNext + 1) % len(a.appliedFormed)
 }
 
@@ -561,7 +623,7 @@ func (a *Algorithm) recordAttempt(from proc.ID, s view.Session) {
 	if !s.Equal(a.attemptSession) || !a.cur.Contains(from) {
 		return
 	}
-	a.attempts = a.attempts.With(from)
+	a.attempts.Add(from)
 	a.checkFormed()
 }
 
@@ -574,9 +636,10 @@ func (a *Algorithm) checkFormed() {
 	s := a.attemptSession
 	a.lastPrimary = s
 	a.inPrimary = true
+	idx := a.internFormed(s)
 	a.cur.Members.ForEach(func(q proc.ID) {
-		if int(q) < len(a.lastFormed) {
-			a.lastFormed[q] = s
+		if int(q) < len(a.formedIdx) {
+			a.formedIdx[q] = idx
 		}
 	})
 
