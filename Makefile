@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
 BENCH_N ?= 5
@@ -13,11 +13,12 @@ TIME_TOLERANCE ?= 75
 # check is the tier-1 gate: formatting, vet, build, full test suite,
 # plus the allocation guards, the set-vs-model property tests under the
 # race detector, a short race pass over the reset determinism tests,
-# and sharded soak campaigns under the race detector at both the thesis
+# sharded soak campaigns under the race detector at both the thesis
 # scale and the wide 128-process scale (the properties the run-reuse
 # lifecycle, the multi-word set representation and the campaign engine
-# must never lose silently).
-check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large
+# must never lose silently), and the live-path smoke: a real TCP
+# cluster under client load with an injected partition.
+check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -85,6 +86,15 @@ race-reset:
 # detector, exercising the exact binary and scheduling path CI ships.
 soak-short:
 	$(GO) run -race ./cmd/quorumcheck -changes 2000 -procs 24 -chains 4 -progress 0
+
+# loadgen-smoke boots a 3-node replicated store over real TCP sockets,
+# drives it with concurrent clients, injects a partition mid-run and
+# heals it — then asserts (via -smoke) that throughput was non-zero,
+# latency quantiles are sane, per-peer wire stats were collected, and
+# a primary-recovery time was actually measured from the failover
+# timeline. This is the live path's end-to-end gate.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -inproc 3 -conns 4 -duration 2s -partition 500ms -heal 1300ms -q -smoke
 
 # soak-large is the same campaign at the top of the scaling sweep's
 # comfortable range under the race detector: 128 processes, all six

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynvote/internal/loadgen"
+)
+
+func writeLoadgenReport(t *testing.T, rep *loadgen.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleLoadgenReport() *loadgen.Report {
+	return &loadgen.Report{
+		Kind: "loadgen", Alg: "ykd", Nodes: 3, Conns: 4,
+		Result: loadgen.Result{
+			Requests: 1000, OK: 990, NotPrimary: 10,
+			ThroughputRPS: 2000,
+			Latency: loadgen.LatencySummary{
+				MinMs: 0.1, MeanMs: 0.5, P50Ms: 0.4, P95Ms: 1.2, P99Ms: 2.5, MaxMs: 9,
+			},
+		},
+		Failover: &loadgen.FailoverReport{
+			InjectedAtSec: 1, PrimaryLostMs: 20, RecoveryMs: 55,
+			ViewsProposed: 2, ViewsInstalled: 5,
+		},
+	}
+}
+
+func TestRunWithLoadgenReport(t *testing.T) {
+	path := writeLoadgenReport(t, sampleLoadgenReport())
+	var out bytes.Buffer
+	// No bench output on stdin: the loadgen report alone carries the run.
+	if err := run([]string{"-loadgen", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2 (run + failover):\n%s", len(rep.Benchmarks), out.String())
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Loadgen/ykd/nodes=3/conns=4" || b.Iterations != 1000 {
+		t.Errorf("run row: %+v", b)
+	}
+	if b.NsPerOp != 0.5*1e6 || b.Extra["rps"] != 2000 || b.Extra["p99-ms"] != 2.5 {
+		t.Errorf("run row units: %+v", b)
+	}
+	f := rep.Benchmarks[1]
+	if !strings.HasSuffix(f.Name, "/failover") || f.Extra["recovery-ms"] != 55 {
+		t.Errorf("failover row: %+v", f)
+	}
+}
+
+func TestRunWithLoadgenAndBenchOutput(t *testing.T) {
+	path := writeLoadgenReport(t, sampleLoadgenReport())
+	bench := "goos: linux\nBenchmarkX-8   100   5000 ns/op\n"
+	var out bytes.Buffer
+	if err := run([]string{"-loadgen", path}, strings.NewReader(bench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want bench row + 2 loadgen rows", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkX-8" {
+		t.Errorf("bench rows must come first: %+v", rep.Benchmarks[0])
+	}
+}
+
+func TestLoadgenReportRejectsWrongKind(t *testing.T) {
+	rep := sampleLoadgenReport()
+	rep.Kind = "something-else"
+	path := writeLoadgenReport(t, rep)
+	if err := run([]string{"-loadgen", path}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Fatal("wrong-kind report must be rejected")
+	}
+}
+
+func TestLoadgenSkipsUnmeasuredFailover(t *testing.T) {
+	rep := sampleLoadgenReport()
+	rep.Failover.RecoveryMs = 0 // injected but never measured
+	rows := loadgenBenchmarks(rep)
+	if len(rows) != 1 {
+		t.Errorf("unmeasured failover must not emit a row: %+v", rows)
+	}
+}

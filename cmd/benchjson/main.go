@@ -14,6 +14,14 @@
 // comparison when any benchmark's ns/op grew beyond its threshold:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline BENCH_2.json -time-tolerance 75
+//
+// -loadgen folds cmd/loadgen -json run reports into the same file as
+// pseudo-benchmarks (mean request latency as ns/op; throughput,
+// latency quantiles and failover recovery time under Extra), so live
+// cluster runs can be committed and diffed like any other benchmark:
+//
+//	loadgen -inproc 3 -duration 5s -partition 2s -json run.json
+//	benchjson -loadgen run.json -o BENCH_6.json </dev/null
 package main
 
 import (
@@ -31,6 +39,16 @@ func main() {
 	}
 }
 
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout; compare mode prints deltas instead)")
@@ -38,6 +56,8 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	tolerance := fs.Float64("tolerance", 2, "allowed allocs/op growth percentage in compare mode")
 	timeTolerance := fs.Float64("time-tolerance", 0, "allowed ns/op growth percentage in compare mode (0 disables the time gate; ns/op is load-sensitive, so prefer generous thresholds)")
 	timeFloor := fs.Float64("time-floor", 50000, "ns/op gate applies only to benchmarks whose baseline ns/op is at least this (micro-benchmarks at -benchtime 1x are timer noise)")
+	var loadgenFiles stringList
+	fs.Var(&loadgenFiles, "loadgen", "loadgen -json report file to fold in as pseudo-benchmarks (repeatable; with no bench output, pipe </dev/null)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,8 +66,11 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := mergeLoadgenReports(report, loadgenFiles); err != nil {
+		return err
+	}
 	if len(report.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark result lines found on stdin")
+		return fmt.Errorf("no benchmark result lines found on stdin (and no -loadgen reports)")
 	}
 
 	if *out != "" {

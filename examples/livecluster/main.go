@@ -98,13 +98,21 @@ func run(httpAddr string, linger time.Duration) error {
 		tr.SetPeers(addrs)
 	}
 
+	// Each transport is wrapped with the instrumented layer (per-peer
+	// message/byte counters and send-latency histograms on /metrics),
+	// and every node feeds the shared failover timeline, so the
+	// partition below gets a measured time-to-primary-recovery.
+	tl := gcs.NewTimeline()
+	wrapped := make([]*gcs.InstrumentedTransport, n)
 	nodes := make([]*gcs.Node, n)
 	for i := 0; i < n; i++ {
+		wrapped[i] = gcs.InstrumentTransport(transports[i], proc.ID(i), reg, gcs.FaultProfile{})
 		node, err := gcs.NewNode(gcs.Config{
 			ID: proc.ID(i), N: n,
-			Transport: transports[i],
+			Transport: wrapped[i],
 			Algorithm: ykd.Factory(ykd.VariantYKD),
 			Metrics:   reg,
+			OnEvent:   tl.Hook(proc.ID(i)),
 		})
 		if err != nil {
 			return err
@@ -154,6 +162,7 @@ func run(httpAddr string, linger time.Duration) error {
 	report("all five connected over TCP:")
 
 	fmt.Println("\ninjecting partition {n0,n1,n2} | {n3,n4} at the transport layer")
+	injectedAt := time.Now()
 	for i := 0; i < 3; i++ {
 		transports[i].Block(3, 4)
 	}
@@ -167,6 +176,10 @@ func run(httpAddr string, linger time.Duration) error {
 		return err
 	}
 	report("heartbeats timed out; YKD re-formed:")
+	if lost, regained, ok := tl.Recovery(injectedAt); ok {
+		fmt.Printf("  primary lost %.1fms after injection, recovered after %.1fms\n",
+			float64(lost)/float64(time.Millisecond), float64(regained)/float64(time.Millisecond))
+	}
 
 	fmt.Println("\nhealing the partition")
 	for i := 0; i < n; i++ {
@@ -183,6 +196,16 @@ func run(httpAddr string, linger time.Duration) error {
 		return err
 	}
 	report("merged back; everyone primary again:")
+
+	var msgs, bytes int64
+	for _, w := range wrapped {
+		for _, ps := range w.Peers() {
+			msgs += ps.MsgsOut
+			bytes += ps.BytesOut
+		}
+	}
+	fmt.Printf("\nwire traffic: %d msgs / %d bytes across %d links (%d timeline events; per-peer series on /metrics)\n",
+		msgs, bytes, n*(n-1), tl.Len())
 
 	if linger > 0 {
 		fmt.Printf("\nlingering %s — scrape /metrics or grab a profile now\n", linger)

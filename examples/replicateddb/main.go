@@ -1,30 +1,198 @@
 // Replicateddb demonstrates the primary component paradigm protecting
-// a replicated key-value store (the thesis's motivating application):
-// five replicas over the in-memory group communication substrate, a
-// partition, writes accepted only by the primary side, and
-// anti-entropy catch-up when the network heals.
+// a replicated key-value store (the thesis's motivating application).
+//
+// With no flags it runs the self-contained demo: five replicas over
+// the in-memory group communication substrate, a partition, writes
+// accepted only by the primary side, and anti-entropy catch-up when
+// the network heals.
+//
+// With -serve it becomes one long-running replica of a real cluster:
+// group communication over TCP, clients served on -addr with the
+// loadgen protocol, per-peer wire metrics on -http. Start one process
+// per replica and point cmd/loadgen at their -addr list:
+//
+//	replicateddb -serve -id 0 -peers 0=:7100,1=:7101,2=:7102 -addr :7000
+//	replicateddb -serve -id 1 -peers 0=:7100,1=:7101,2=:7102 -addr :7001
+//	replicateddb -serve -id 2 -peers 0=:7100,1=:7101,2=:7102 -addr :7002
+//	loadgen -connect :7000,:7001,:7002 -duration 30s
+//
+// A replica that cannot bind its client or group address exits
+// non-zero immediately; SIGINT/SIGTERM shuts it down gracefully
+// (clients drained, transport closed).
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
+	"dynvote/internal/algset"
 	"dynvote/internal/gcs"
+	"dynvote/internal/loadgen"
+	"dynvote/internal/metrics"
 	"dynvote/internal/proc"
 	"dynvote/internal/register"
 	"dynvote/internal/ykd"
 )
 
 func main() {
-	if err := run(); err != nil {
+	serve := flag.Bool("serve", false, "run as one long-lived replica instead of the demo")
+	id := flag.Int("id", 0, "this replica's ID (serve mode)")
+	peers := flag.String("peers", "", "comma-separated id=host:port group addresses for every replica (serve mode)")
+	addr := flag.String("addr", "", "client-facing listen address (serve mode)")
+	alg := flag.String("alg", "ykd", "primary component algorithm (serve mode)")
+	httpAddr := flag.String("http", "", "serve the metrics registry on this address")
+	flag.Parse()
+
+	var err error
+	if *serve {
+		stop := make(chan struct{})
+		go func() {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			<-sig
+			close(stop)
+		}()
+		err = runServe(serveOptions{
+			id:       proc.ID(*id),
+			peers:    *peers,
+			addr:     *addr,
+			alg:      *alg,
+			httpAddr: *httpAddr,
+		}, stop, os.Stdout)
+	} else {
+		err = runDemo()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "replicateddb:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+type serveOptions struct {
+	id       proc.ID
+	peers    string
+	addr     string
+	alg      string
+	httpAddr string
+}
+
+// parsePeers reads "0=host:port,1=host:port,..." into an address map.
+func parsePeers(s string) (map[proc.ID]string, error) {
+	out := make(map[proc.ID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=host:port", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("peer %q: bad id", part)
+		}
+		if _, dup := out[proc.ID(n)]; dup {
+			return nil, fmt.Errorf("peer %q: duplicate id", part)
+		}
+		out[proc.ID(n)] = addr
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-peers is required in serve mode")
+	}
+	return out, nil
+}
+
+// runServe runs one replica until stop closes. Every bind failure is
+// returned (→ non-zero exit), never swallowed.
+func runServe(o serveOptions, stop <-chan struct{}, out io.Writer) error {
+	peers, err := parsePeers(o.peers)
+	if err != nil {
+		return err
+	}
+	if _, ok := peers[o.id]; !ok {
+		return fmt.Errorf("-id %d has no entry in -peers", o.id)
+	}
+	if o.addr == "" {
+		return errors.New("-addr is required in serve mode")
+	}
+	factory, err := algset.ByName(o.alg)
+	if err != nil {
+		return err
+	}
+
+	reg := metrics.NewRegistry()
+	tcp, err := gcs.NewTCPTransport(gcs.TCPConfig{
+		ID:      o.id,
+		Addrs:   peers,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	// Instrumented so /metrics carries per-peer message/byte counters
+	// and send-latency histograms for this replica's links.
+	tr := gcs.InstrumentTransport(tcp, o.id, reg, gcs.FaultProfile{})
+	store, err := register.Open(register.Config{
+		ID: o.id, N: len(peers),
+		Transport: tr,
+		Algorithm: factory,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	srv, err := loadgen.NewServer(store, o.addr)
+	if err != nil {
+		store.Close()
+		_ = tr.Close()
+		return err
+	}
+	if o.httpAddr != "" {
+		bound, err := serveMetrics(o.httpAddr, reg)
+		if err != nil {
+			_ = srv.Close()
+			store.Close()
+			_ = tr.Close()
+			return err
+		}
+		fmt.Fprintf(out, "replica %d: metrics on http://%s/metrics\n", o.id, bound)
+	}
+	fmt.Fprintf(out, "replica %d/%d (%s): clients on %s, group on %s\n",
+		o.id, len(peers), o.alg, srv.Addr(), tcp.Addr())
+
+	<-stop
+	fmt.Fprintf(out, "replica %d: shutting down\n", o.id)
+	err = srv.Close()
+	store.Close()
+	if cerr := tr.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func serveMetrics(addr string, reg *metrics.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+func runDemo() error {
 	const n = 5
 	net := gcs.NewMemNetwork(n)
 	stores := make([]*register.Store, n)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dynvote/internal/loadgen"
+	"dynvote/internal/proc"
+)
+
+// freePorts grabs n distinct ephemeral ports and releases them. Go
+// listeners set SO_REUSEADDR, so rebinding them right away works.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// TestServeClusterEndToEnd boots three serve-mode replicas (the same
+// code path as three separate processes, each with its own TCP group
+// transport and client listener), drives them with loadgen, and shuts
+// them down gracefully.
+func TestServeClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TCP cluster")
+	}
+	const n = 3
+	group := freePorts(t, n)
+	client := freePorts(t, n)
+	peers := make([]string, n)
+	for i, a := range group {
+		peers[i] = fmt.Sprintf("%d=%s", i, a)
+	}
+	peerSpec := strings.Join(peers, ",")
+
+	stop := make(chan struct{})
+	errc := make(chan error, n)
+	var outs [n]bytes.Buffer
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			errc <- runServe(serveOptions{
+				id:    proc.ID(i),
+				peers: peerSpec,
+				addr:  client[i],
+				alg:   "ykd",
+			}, stop, &outs[i])
+		}()
+	}
+
+	// The cluster converges and serves writes.
+	var cl *loadgen.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for cl == nil && time.Now().Before(deadline) {
+		c, err := loadgen.DialClient(client[0])
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		cl = c
+	}
+	if cl == nil {
+		t.Fatal("replica 0 never started serving")
+	}
+	okWrite := false
+	for !okWrite && time.Now().Before(deadline) {
+		notPrimary, err := cl.Set("boot", "ready")
+		if err != nil {
+			_ = cl.Close()
+			cl = nil
+			time.Sleep(20 * time.Millisecond)
+			c, derr := loadgen.DialClient(client[0])
+			if derr == nil {
+				cl = c
+			}
+			continue
+		}
+		if !notPrimary {
+			okWrite = true
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	_ = cl.Close()
+	if !okWrite {
+		t.Fatal("cluster never accepted a write")
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addrs:    client[:],
+		Conns:    3,
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successful requests against the serve cluster: %+v", res)
+	}
+
+	close(stop)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("replica exited with %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("replica did not shut down after stop")
+		}
+	}
+	for i := range outs {
+		if !strings.Contains(outs[i].String(), "shutting down") {
+			t.Errorf("replica %d missing graceful-shutdown log:\n%s", i, outs[i].String())
+		}
+	}
+}
+
+// TestServeBindFailure: an occupied client port must fail the replica
+// outright (the process would exit non-zero), not hang half-started.
+func TestServeBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	close(stop)
+	err = runServe(serveOptions{
+		id:    0,
+		peers: "0=127.0.0.1:0",
+		addr:  ln.Addr().String(),
+		alg:   "ykd",
+	}, stop, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("bind on an occupied client port must error")
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	cases := []serveOptions{
+		{id: 0, peers: "", addr: "127.0.0.1:0"},                 // no peers
+		{id: 5, peers: "0=127.0.0.1:0", addr: "127.0.0.1:0"},    // id not in peers
+		{id: 0, peers: "0=127.0.0.1:0", addr: ""},               // no client addr
+		{id: 0, peers: "zero=127.0.0.1:0", addr: "127.0.0.1:0"}, // bad id
+		{id: 0, peers: "0=a,0=b", addr: "127.0.0.1:0"},          // duplicate id
+		{id: 0, peers: "0=127.0.0.1:0", addr: "127.0.0.1:0", alg: "nope"},
+	}
+	stop := make(chan struct{})
+	close(stop)
+	for _, o := range cases {
+		if o.alg == "" {
+			o.alg = "ykd"
+		}
+		if err := runServe(o, stop, new(bytes.Buffer)); err == nil {
+			t.Errorf("runServe(%+v) accepted invalid options", o)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package gcs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynvote/internal/metrics"
+	"dynvote/internal/proc"
+)
+
+// FaultProfile configures injected network conditions on an
+// InstrumentedTransport's send path, giving the live TCP stack the
+// same latency-modeled treatment the simulator applies to message
+// rounds. The zero value injects nothing.
+type FaultProfile struct {
+	// Latency is a fixed delay added to every outgoing frame.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) on top of
+	// Latency, per frame.
+	Jitter time.Duration
+	// DropRate is the probability in [0, 1] that an outgoing frame is
+	// silently dropped before reaching the wire.
+	DropRate float64
+	// Seed seeds the jitter/drop RNG so injected conditions replay
+	// deterministically. Zero means seed 1.
+	Seed int64
+}
+
+func (fp FaultProfile) delaying() bool { return fp.Latency > 0 || fp.Jitter > 0 }
+
+// latTracker accumulates min/max/total latency with atomics so the
+// send and receive paths never contend on a lock.
+type latTracker struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+	max   atomic.Int64 // nanoseconds
+}
+
+const latEmpty = int64(1<<63 - 1)
+
+func (l *latTracker) observe(d time.Duration) {
+	ns := int64(d)
+	l.count.Add(1)
+	l.total.Add(ns)
+	for {
+		cur := l.min.Load()
+		if cur != latEmpty && ns >= cur {
+			break
+		}
+		if l.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := l.max.Load()
+		if ns <= cur {
+			break
+		}
+		if l.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// LatencyStats is a min/max/total latency snapshot.
+type LatencyStats struct {
+	Count int64
+	Min   time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
+// Mean returns the average latency, 0 when empty.
+func (s LatencyStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+func (l *latTracker) stats() LatencyStats {
+	s := LatencyStats{
+		Count: l.count.Load(),
+		Total: time.Duration(l.total.Load()),
+		Max:   time.Duration(l.max.Load()),
+	}
+	if min := l.min.Load(); min != latEmpty {
+		s.Min = time.Duration(min)
+	}
+	return s
+}
+
+// PeerStats is one peer's traffic, as seen from one endpoint's
+// InstrumentedTransport.
+type PeerStats struct {
+	Peer     proc.ID
+	MsgsOut  int64
+	BytesOut int64
+	MsgsIn   int64
+	BytesIn  int64
+	// Dropped counts outgoing frames discarded by fault injection
+	// (DropRate plus delay-queue overflow).
+	Dropped int64
+	// Send is the latency of the underlying Send call (the real wire
+	// cost; injected delay is excluded).
+	Send LatencyStats
+	// RecvGap is the inter-arrival gap between successive frames from
+	// this peer — the live analogue of a heartbeat trace.
+	RecvGap LatencyStats
+}
+
+// peerState is the per-peer half of the wrapper's bookkeeping.
+type peerState struct {
+	id       proc.ID
+	msgsOut  atomic.Int64
+	bytesOut atomic.Int64
+	msgsIn   atomic.Int64
+	bytesIn  atomic.Int64
+	dropped  atomic.Int64
+	send     latTracker
+	recvGap  latTracker
+	lastRecv atomic.Int64 // UnixNano of the previous frame; 0 = none yet
+
+	// registry instruments (nil when uninstrumented)
+	mMsgsOut  *metrics.Counter
+	mBytesOut *metrics.Counter
+	mMsgsIn   *metrics.Counter
+	mBytesIn  *metrics.Counter
+	mDropped  *metrics.Counter
+	mSendSec  *metrics.Histogram
+	mRecvGap  *metrics.Histogram
+
+	// delayed-send queue, created lazily when the profile delays
+	delay chan delayedFrame
+}
+
+type delayedFrame struct {
+	due  time.Time
+	data []byte
+}
+
+// InstrumentedTransport wraps any Transport with per-peer message and
+// byte counters, send/receive latency tracking (min/max/total plus
+// registry histogram buckets), and configurable injected
+// latency/jitter/drop — the live-path port of the simulator's
+// latency-modeled delivery. All instruments live in the supplied
+// metrics.Registry (nil disables registry export but keeps the local
+// stats), named <prefix>_peer_p<ID>_*; share one registry across a
+// cluster for cluster-wide per-peer totals.
+type InstrumentedTransport struct {
+	inner  Transport
+	self   proc.ID
+	reg    *metrics.Registry
+	prefix string
+	fp     FaultProfile
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	peers   map[proc.ID]*peerState
+	stopped bool // guarded by mu; set before stop closes
+
+	frames chan Frame
+
+	stop     chan struct{}
+	done     chan struct{} // receive forwarder exit
+	sendWG   sync.WaitGroup
+	stopOnce sync.Once
+}
+
+var _ Transport = (*InstrumentedTransport)(nil)
+
+// InstrumentTransport wraps inner. self names this endpoint in log
+// output; reg may be nil (stats stay queryable via PeerStats). The
+// returned transport must be Closed to release its forwarding
+// goroutine — closing it also closes inner.
+func InstrumentTransport(inner Transport, self proc.ID, reg *metrics.Registry, fp FaultProfile) *InstrumentedTransport {
+	seed := fp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &InstrumentedTransport{
+		inner:  inner,
+		self:   self,
+		reg:    reg,
+		prefix: "gcs",
+		fp:     fp,
+		rng:    rand.New(rand.NewSource(seed)),
+		peers:  make(map[proc.ID]*peerState),
+		frames: make(chan Frame, memChanDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go t.forwardFrames()
+	return t
+}
+
+// peer returns (creating on first use) the bookkeeping for one peer.
+func (t *InstrumentedTransport) peer(id proc.ID) *peerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.peers[id]; ok {
+		return ps
+	}
+	ps := &peerState{id: id}
+	ps.send.min.Store(latEmpty)
+	ps.recvGap.min.Store(latEmpty)
+	name := func(suffix string) string {
+		return fmt.Sprintf("%s_peer_p%d_%s", t.prefix, id, suffix)
+	}
+	ps.mMsgsOut = t.reg.Counter(name("msgs_out_total"), fmt.Sprintf("frames sent to peer %d", id))
+	ps.mBytesOut = t.reg.Counter(name("bytes_out_total"), fmt.Sprintf("payload bytes sent to peer %d", id))
+	ps.mMsgsIn = t.reg.Counter(name("msgs_in_total"), fmt.Sprintf("frames received from peer %d", id))
+	ps.mBytesIn = t.reg.Counter(name("bytes_in_total"), fmt.Sprintf("payload bytes received from peer %d", id))
+	ps.mDropped = t.reg.Counter(name("injected_drops_total"), fmt.Sprintf("frames to peer %d dropped by fault injection", id))
+	ps.mSendSec = t.reg.Histogram(name("send_seconds"), fmt.Sprintf("underlying send latency to peer %d", id), metrics.WireBuckets)
+	ps.mRecvGap = t.reg.Histogram(name("recv_gap_seconds"), fmt.Sprintf("inter-arrival gap of frames from peer %d", id), metrics.WireBuckets)
+	// No new delay goroutines once Close has begun (it waits on
+	// sendWG); such late sends fall through to the inner transport,
+	// which is shutting down anyway. t.mu orders this against Close.
+	if t.fp.delaying() && !t.stopped {
+		ps.delay = make(chan delayedFrame, memChanDepth)
+		t.sendWG.Add(1)
+		go t.delayLoop(ps)
+	}
+	t.peers[id] = ps
+	return ps
+}
+
+// Send implements Transport: count, maybe drop, maybe delay, then pass
+// to the inner transport. Delayed frames preserve per-peer FIFO order
+// through a dedicated queue.
+func (t *InstrumentedTransport) Send(to proc.ID, data []byte) error {
+	ps := t.peer(to)
+	if t.fp.DropRate > 0 {
+		t.rngMu.Lock()
+		drop := t.rng.Float64() < t.fp.DropRate
+		t.rngMu.Unlock()
+		if drop {
+			ps.dropped.Add(1)
+			ps.mDropped.Inc()
+			return nil
+		}
+	}
+	if ps.delay != nil {
+		delay := t.fp.Latency
+		if t.fp.Jitter > 0 {
+			t.rngMu.Lock()
+			delay += time.Duration(t.rng.Int63n(int64(t.fp.Jitter)))
+			t.rngMu.Unlock()
+		}
+		// The caller's buffer may be reused once Send returns; a frame
+		// parked in the delay queue needs its own copy.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		select {
+		case ps.delay <- delayedFrame{due: time.Now().Add(delay), data: buf}:
+		default:
+			// Queue overflow behaves like any saturated link: drop.
+			ps.dropped.Add(1)
+			ps.mDropped.Inc()
+		}
+		return nil
+	}
+	t.sendNow(ps, data)
+	return nil
+}
+
+// sendNow performs the instrumented inner send.
+func (t *InstrumentedTransport) sendNow(ps *peerState, data []byte) {
+	start := time.Now()
+	err := t.inner.Send(ps.id, data)
+	took := time.Since(start)
+	if err != nil {
+		return
+	}
+	ps.msgsOut.Add(1)
+	ps.bytesOut.Add(int64(len(data)))
+	ps.send.observe(took)
+	ps.mMsgsOut.Inc()
+	ps.mBytesOut.Add(int64(len(data)))
+	ps.mSendSec.Observe(took.Seconds())
+}
+
+// delayLoop drains one peer's delay queue in order, sleeping each
+// frame until its due time.
+func (t *InstrumentedTransport) delayLoop(ps *peerState) {
+	defer t.sendWG.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case f := <-ps.delay:
+			if wait := time.Until(f.due); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-t.stop:
+					return
+				case <-timer.C:
+				}
+			}
+			t.sendNow(ps, f.data)
+		}
+	}
+}
+
+// forwardFrames relays the inner frame stream, recording per-peer
+// receive counters and inter-arrival gaps.
+func (t *InstrumentedTransport) forwardFrames() {
+	defer close(t.done)
+	in := t.inner.Frames()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case f, ok := <-in:
+			if !ok {
+				return
+			}
+			ps := t.peer(f.From)
+			now := time.Now()
+			ps.msgsIn.Add(1)
+			ps.bytesIn.Add(int64(len(f.Data)))
+			ps.mMsgsIn.Inc()
+			ps.mBytesIn.Add(int64(len(f.Data)))
+			if prev := ps.lastRecv.Swap(now.UnixNano()); prev != 0 {
+				gap := time.Duration(now.UnixNano() - prev)
+				ps.recvGap.observe(gap)
+				ps.mRecvGap.Observe(gap.Seconds())
+			}
+			select {
+			case t.frames <- f:
+			case <-t.stop:
+				return
+			}
+		}
+	}
+}
+
+// Frames implements Transport.
+func (t *InstrumentedTransport) Frames() <-chan Frame { return t.frames }
+
+// Reachability implements Transport, passing the failure-detector
+// stream through untouched.
+func (t *InstrumentedTransport) Reachability() <-chan proc.Set { return t.inner.Reachability() }
+
+// Close implements Transport: stops the forwarding and delay
+// goroutines (pending delayed frames are discarded) and closes the
+// inner transport.
+func (t *InstrumentedTransport) Close() error {
+	var err error
+	t.stopOnce.Do(func() {
+		t.mu.Lock()
+		t.stopped = true
+		t.mu.Unlock()
+		close(t.stop)
+		t.sendWG.Wait()
+		<-t.done
+		err = t.inner.Close()
+	})
+	return err
+}
+
+// PeerStats returns the traffic snapshot for one peer; ok is false if
+// the peer has never been seen.
+func (t *InstrumentedTransport) PeerStats(id proc.ID) (PeerStats, bool) {
+	t.mu.Lock()
+	ps, ok := t.peers[id]
+	t.mu.Unlock()
+	if !ok {
+		return PeerStats{}, false
+	}
+	return ps.snapshot(), true
+}
+
+// Peers returns snapshots for every peer seen so far, ordered by ID.
+func (t *InstrumentedTransport) Peers() []PeerStats {
+	t.mu.Lock()
+	states := make([]*peerState, 0, len(t.peers))
+	for _, ps := range t.peers {
+		states = append(states, ps)
+	}
+	t.mu.Unlock()
+	out := make([]PeerStats, len(states))
+	for i, ps := range states {
+		out[i] = ps.snapshot()
+	}
+	sortPeerStats(out)
+	return out
+}
+
+func sortPeerStats(s []PeerStats) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Peer < s[j-1].Peer; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (ps *peerState) snapshot() PeerStats {
+	return PeerStats{
+		Peer:     ps.id,
+		MsgsOut:  ps.msgsOut.Load(),
+		BytesOut: ps.bytesOut.Load(),
+		MsgsIn:   ps.msgsIn.Load(),
+		BytesIn:  ps.bytesIn.Load(),
+		Dropped:  ps.dropped.Load(),
+		Send:     ps.send.stats(),
+		RecvGap:  ps.recvGap.stats(),
+	}
+}

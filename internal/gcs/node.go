@@ -28,6 +28,10 @@ const (
 	EventApp
 	// EventPrimary: the node's primary-component status changed.
 	EventPrimary
+	// EventViewProposed: this node, as leader of its component,
+	// announced a new view (it installs moments later). The
+	// proposed→installed gap is the membership half of failover time.
+	EventViewProposed
 )
 
 // Event is a notification from the node's event loop. Handlers run on
@@ -223,6 +227,7 @@ func (n *Node) onReachability(reach proc.Set) {
 		return // a smaller process will lead and announce the view
 	}
 	v := view.View{ID: n.nextViewID(), Members: reach}
+	n.emit(Event{Kind: EventViewProposed, View: v})
 	var w wire.Writer
 	w.Byte(frameView)
 	w.Varint(v.ID)

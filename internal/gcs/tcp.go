@@ -48,6 +48,7 @@ type TCPTransport struct {
 	mu        sync.Mutex
 	peers     map[proc.ID]string
 	conns     map[proc.ID]*peerConn
+	accepted  map[net.Conn]struct{}
 	lastHB    map[proc.ID]time.Time
 	blocked   proc.Set
 	reach     proc.Set
@@ -93,6 +94,7 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		fd:       make(chan proc.Set, 1),
 		peers:    make(map[proc.ID]string, len(cfg.Addrs)),
 		conns:    make(map[proc.ID]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
 		lastHB:   make(map[proc.ID]time.Time),
 		reach:    proc.NewSet(cfg.ID),
 		stop:     make(chan struct{}),
@@ -166,6 +168,13 @@ func (t *TCPTransport) Close() error {
 		for id, pc := range t.conns {
 			_ = pc.c.Close()
 			delete(t.conns, id)
+		}
+		// Accepted inbound connections must close too: leaving them
+		// open leaks their readLoop goroutines and keeps peers writing
+		// into a transport that will never deliver — a "restarted"
+		// process would still look alive to the rest of the cluster.
+		for c := range t.accepted {
+			_ = c.Close()
 		}
 		t.mu.Unlock()
 		_ = t.listener.Close()
@@ -252,7 +261,20 @@ func (t *TCPTransport) acceptLoop() {
 }
 
 func (t *TCPTransport) readLoop(conn net.Conn) {
-	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	t.accepted[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
 	header := make([]byte, tcpHeader)
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {

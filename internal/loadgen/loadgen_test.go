@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"dynvote/internal/gcs"
+	"dynvote/internal/metrics"
+	"dynvote/internal/proc"
+	"dynvote/internal/register"
+	"dynvote/internal/ykd"
+)
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// startCluster runs n replicas on a MemNetwork, each behind a Server.
+func startCluster(t *testing.T, n int, tl *gcs.Timeline) (*gcs.MemNetwork, []*register.Store, []string) {
+	t.Helper()
+	net := gcs.NewMemNetwork(n)
+	stores := make([]*register.Store, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := proc.ID(i)
+		st, err := register.Open(register.Config{
+			ID: id, N: n,
+			Transport: net.Transport(id),
+			Algorithm: ykd.Factory(ykd.VariantYKD),
+			OnEvent:   tl.Hook(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		srv, err := NewServer(st, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srv.Addr()
+		t.Cleanup(func() { _ = srv.Close(); st.Close() })
+	}
+	eventually(t, "cluster converges", func() bool {
+		for _, st := range stores {
+			if !st.InPrimary() {
+				return false
+			}
+		}
+		return true
+	})
+	return net, stores, addrs
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	_, stores, addrs := startCluster(t, 3, nil)
+	cl, err := DialClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, found, err := cl.Get("missing"); err != nil || found {
+		t.Fatalf("Get missing = (found=%v, err=%v)", found, err)
+	}
+	if notPrimary, err := cl.Set("k", "v1"); err != nil || notPrimary {
+		t.Fatalf("Set = (notPrimary=%v, err=%v)", notPrimary, err)
+	}
+	eventually(t, "write replicates", func() bool {
+		v, ok, _ := stores[2].Get("k")
+		return ok && v == "v1"
+	})
+	if v, found, err := cl.Get("k"); err != nil || !found || v != "v1" {
+		t.Fatalf("Get k = (%q, %v, %v)", v, found, err)
+	}
+}
+
+func TestRunMeasuresThroughputAndLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run")
+	}
+	_, _, addrs := startCluster(t, 3, nil)
+	reg := metrics.NewRegistry()
+	res, err := Run(Config{
+		Addrs:    addrs,
+		Conns:    3,
+		Duration: 600 * time.Millisecond,
+		Keys:     16,
+		Seed:     1,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.OK == 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", res.ThroughputRPS)
+	}
+	l := res.Latency
+	if l.P50Ms > l.P95Ms || l.P95Ms > l.P99Ms {
+		t.Errorf("quantiles not monotone: %+v", l)
+	}
+	if l.MinMs <= 0 || l.MaxMs < l.MinMs {
+		t.Errorf("extrema inconsistent: %+v", l)
+	}
+	s := reg.Snapshot()
+	if s.Counters["loadgen_requests_total"] != res.Requests {
+		t.Errorf("registry requests %d != result %d",
+			s.Counters["loadgen_requests_total"], res.Requests)
+	}
+	if _, ok := s.Histograms["loadgen_request_seconds"]; !ok {
+		t.Error("latency histogram missing from registry")
+	}
+}
+
+func TestRunPacedHoldsTargetRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run")
+	}
+	_, _, addrs := startCluster(t, 3, nil)
+	const rate = 200.0
+	res, err := Run(Config{
+		Addrs:    addrs,
+		Conns:    2,
+		Rate:     rate,
+		Duration: 500 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-loop pacing can run under the target (never over by more
+	// than scheduling slop): assert a sane band, not an exact figure.
+	if res.ThroughputRPS > rate*1.5 {
+		t.Errorf("throughput %.0f far above %v target", res.ThroughputRPS, rate)
+	}
+	if res.Requests == 0 {
+		t.Error("paced run issued no requests")
+	}
+}
+
+func TestRunWritesRefusedOutsidePrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run")
+	}
+	net, stores, addrs := startCluster(t, 3, nil)
+	// Isolate node 2: its replica leaves the primary component, so
+	// clients pinned to its server see NotPrimary on every write.
+	if err := net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "minority leaves primary", func() bool { return !stores[2].InPrimary() })
+	res, err := Run(Config{
+		Addrs:         []string{addrs[2]},
+		Conns:         1,
+		Duration:      300 * time.Millisecond,
+		WriteFraction: 1,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotPrimary == 0 || res.OK != 0 {
+		t.Errorf("minority writes: %+v (want all NotPrimary)", res)
+	}
+}
+
+func TestRunNoAddrs(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run with no addresses must fail")
+	}
+}
+
+func TestServerBindFailure(t *testing.T) {
+	_, _, addrs := startCluster(t, 1, nil)
+	// Second bind on the same concrete port must fail loudly.
+	if srv, err := NewServer(nil, addrs[0]); err == nil {
+		_ = srv.Close()
+		t.Fatal("bind on an occupied port should fail")
+	}
+}

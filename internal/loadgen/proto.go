@@ -1,0 +1,154 @@
+// Package loadgen is the closed-loop load harness for the live
+// replicated-store path: a tiny TCP request/response protocol over
+// register.Store, a concurrent client driver that holds a target
+// aggregate rate, latency percentile accounting through
+// internal/metrics, and a machine-readable run report. Together with
+// the instrumented gcs transport and the failover timeline it turns
+// "the algorithms also run over TCP" into measured throughput, tail
+// latency and time-to-primary-recovery numbers — the live analogue of
+// the thesis's availability metric.
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"dynvote/internal/wire"
+)
+
+// Request operations.
+const (
+	opGet byte = iota + 1
+	opSet
+)
+
+// Response statuses.
+const (
+	statusOK byte = iota
+	statusNotFound
+	statusNotPrimary
+	statusError
+)
+
+// maxFrame bounds request/response bodies; the store holds short
+// strings, so anything larger is a corrupt stream.
+const maxFrame = 1 << 20
+
+// writeFrame sends one length-prefixed message.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("loadgen: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed message, reusing buf when it is
+// large enough.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("loadgen: frame length %d exceeds cap", size)
+	}
+	if uint32(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeGet builds a Get request body.
+func encodeGet(w *wire.Writer, key string) {
+	w.Reset()
+	w.Byte(opGet)
+	w.RawBytes([]byte(key))
+}
+
+// encodeSet builds a Set request body.
+func encodeSet(w *wire.Writer, key, value string) {
+	w.Reset()
+	w.Byte(opSet)
+	w.RawBytes([]byte(key))
+	w.RawBytes([]byte(value))
+}
+
+// Client is one synchronous connection to a Server — the closed-loop
+// unit: one outstanding request at a time.
+type Client struct {
+	c    net.Conn
+	w    wire.Writer
+	rbuf []byte
+}
+
+// DialClient connects to a server.
+func DialClient(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// roundTrip sends the encoded request and decodes status + value.
+func (c *Client) roundTrip() (status byte, value string, err error) {
+	if err := writeFrame(c.c, c.w.Bytes()); err != nil {
+		return statusError, "", err
+	}
+	body, err := readFrame(c.c, c.rbuf)
+	if err != nil {
+		return statusError, "", err
+	}
+	c.rbuf = body[:0]
+	r := wire.NewReader(body)
+	status = r.Byte()
+	value = string(r.RawBytes())
+	if r.Err() != nil {
+		return statusError, "", r.Err()
+	}
+	return status, value, nil
+}
+
+// Get fetches a key. found is false when the key does not exist.
+func (c *Client) Get(key string) (value string, found bool, err error) {
+	encodeGet(&c.w, key)
+	status, v, err := c.roundTrip()
+	if err != nil {
+		return "", false, err
+	}
+	return v, status == statusOK, nil
+}
+
+// Set writes key=value. notPrimary is true when the replica refused
+// the write because it is outside the primary component.
+func (c *Client) Set(key, value string) (notPrimary bool, err error) {
+	encodeSet(&c.w, key, value)
+	status, _, err := c.roundTrip()
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case statusOK:
+		return false, nil
+	case statusNotPrimary:
+		return true, nil
+	default:
+		return false, fmt.Errorf("loadgen: set failed with status %d", status)
+	}
+}

@@ -1,0 +1,327 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dynvote/internal/campaign"
+	"dynvote/internal/metrics"
+)
+
+// Config drives one closed-loop load run.
+type Config struct {
+	// Addrs are the server addresses; workers are spread round-robin
+	// across them, so every replica sees client traffic.
+	Addrs []string
+	// Conns is the number of concurrent client connections (default 4).
+	// Each connection is closed-loop: one outstanding request.
+	Conns int
+	// Rate is the target aggregate request rate in req/s across all
+	// connections. 0 means unpaced — every connection issues
+	// back-to-back requests.
+	Rate float64
+	// Duration is the run length (default 5s).
+	Duration time.Duration
+	// Keys is the key-space size (default 64).
+	Keys int
+	// WriteFraction is the fraction of requests that are writes
+	// (default 0.5).
+	WriteFraction float64
+	// Seed makes the op mix reproducible.
+	Seed int64
+	// Registry receives the run's counters and the request-latency
+	// histogram. Nil creates a private registry.
+	Registry *metrics.Registry
+	// Progress, when non-nil, receives periodic one-line summaries.
+	Progress *campaign.Reporter
+	// ProgressEvery is the progress period (default 1s).
+	ProgressEvery time.Duration
+}
+
+// LatencySummary is request latency in milliseconds.
+type LatencySummary struct {
+	MinMs  float64 `json:"min_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Result is what one Run measured.
+type Result struct {
+	Duration      time.Duration  `json:"-"`
+	DurationSec   float64        `json:"duration_sec"`
+	Requests      int64          `json:"requests"`
+	OK            int64          `json:"ok"`
+	NotFound      int64          `json:"not_found"`
+	NotPrimary    int64          `json:"not_primary"`
+	Errors        int64          `json:"errors"`
+	Redials       int64          `json:"redials"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       LatencySummary `json:"latency_ms"`
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Conns <= 0 {
+		out.Conns = 4
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.Keys <= 0 {
+		out.Keys = 64
+	}
+	if out.WriteFraction < 0 {
+		out.WriteFraction = 0
+	}
+	if out.WriteFraction == 0 {
+		out.WriteFraction = 0.5
+	}
+	if out.WriteFraction > 1 {
+		out.WriteFraction = 1
+	}
+	if out.Registry == nil {
+		out.Registry = metrics.NewRegistry()
+	}
+	if out.ProgressEvery <= 0 {
+		out.ProgressEvery = time.Second
+	}
+	return out
+}
+
+// runCounters groups the registry instruments one run writes into.
+type runCounters struct {
+	requests   *metrics.Counter
+	ok         *metrics.Counter
+	notFound   *metrics.Counter
+	notPrimary *metrics.Counter
+	errs       *metrics.Counter
+	redials    *metrics.Counter
+	latency    *metrics.Histogram
+}
+
+func newRunCounters(reg *metrics.Registry) runCounters {
+	return runCounters{
+		requests:   reg.Counter("loadgen_requests_total", "client requests issued"),
+		ok:         reg.Counter("loadgen_ok_total", "requests answered OK"),
+		notFound:   reg.Counter("loadgen_not_found_total", "reads of absent keys"),
+		notPrimary: reg.Counter("loadgen_not_primary_total", "writes refused outside the primary"),
+		errs:       reg.Counter("loadgen_errors_total", "transport/protocol request failures"),
+		redials:    reg.Counter("loadgen_redials_total", "client reconnects after request failure"),
+		latency:    reg.Histogram("loadgen_request_seconds", "client request round-trip latency", metrics.WireBuckets),
+	}
+}
+
+// extrema is the worker-local min/max that the shared histogram's
+// buckets cannot recover exactly.
+type extrema struct {
+	min, max time.Duration
+	any      bool
+}
+
+func (e *extrema) observe(d time.Duration) {
+	if !e.any || d < e.min {
+		e.min = d
+	}
+	if d > e.max {
+		e.max = d
+	}
+	e.any = true
+}
+
+func (e *extrema) merge(o extrema) {
+	if !o.any {
+		return
+	}
+	if !e.any || o.min < e.min {
+		e.min = o.min
+	}
+	if o.max > e.max {
+		e.max = o.max
+	}
+	e.any = true
+}
+
+// Run drives the cluster for cfg.Duration and reports what it
+// measured. It returns an error only when the run could not start at
+// all (no addresses, no connection ever established); request-level
+// failures are data, not errors — a run across a partition is the
+// whole point of the harness.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Addrs) == 0 {
+		return Result{}, errors.New("loadgen: no server addresses")
+	}
+	c := cfg.withDefaults()
+	rc := newRunCounters(c.Registry)
+
+	// Per-connection pacing interval: the aggregate rate divided across
+	// connections. Zero means unpaced.
+	var interval time.Duration
+	if c.Rate > 0 {
+		interval = time.Duration(float64(c.Conns) / c.Rate * float64(time.Second))
+	}
+
+	start := time.Now()
+	deadline := start.Add(c.Duration)
+	ext := make([]extrema, c.Conns)
+	var wg sync.WaitGroup
+	for i := 0; i < c.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worker(&c, rc, c.Addrs[i%len(c.Addrs)], i, interval, deadline, &ext[i])
+		}(i)
+	}
+
+	progressDone := make(chan struct{})
+	go func() {
+		defer close(progressDone)
+		ticker := time.NewTicker(c.ProgressEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				el := time.Since(start).Seconds()
+				reqs := rc.requests.Value()
+				c.Progress.Printf("loadgen: t=%4.1fs reqs=%d ok=%d notPrimary=%d errs=%d rate=%.0f/s",
+					el, reqs, rc.ok.Value(), rc.notPrimary.Value(), rc.errs.Value(), float64(reqs)/el)
+			case <-time.After(time.Until(deadline)):
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-progressDone
+	elapsed := time.Since(start)
+
+	var all extrema
+	for i := range ext {
+		all.merge(ext[i])
+	}
+	res := Result{
+		Duration:    elapsed,
+		DurationSec: elapsed.Seconds(),
+		Requests:    rc.requests.Value(),
+		OK:          rc.ok.Value(),
+		NotFound:    rc.notFound.Value(),
+		NotPrimary:  rc.notPrimary.Value(),
+		Errors:      rc.errs.Value(),
+		Redials:     rc.redials.Value(),
+	}
+	res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
+	q := rc.latency.Summary()
+	res.Latency = LatencySummary{
+		P50Ms: q.P50 * 1e3,
+		P95Ms: q.P95 * 1e3,
+		P99Ms: q.P99 * 1e3,
+	}
+	if n := rc.latency.Count(); n > 0 {
+		res.Latency.MeanMs = rc.latency.Sum() / float64(n) * 1e3
+	}
+	if all.any {
+		res.Latency.MinMs = float64(all.min) / float64(time.Millisecond)
+		res.Latency.MaxMs = float64(all.max) / float64(time.Millisecond)
+	}
+	if res.Requests == 0 {
+		return res, errors.New("loadgen: no requests completed or failed — could not reach any server")
+	}
+	return res, nil
+}
+
+// worker is one closed-loop connection: request, wait for the reply,
+// maybe sleep to hold the pace, repeat. A failed request costs the
+// connection — redial and keep going, like a real client would.
+func worker(c *Config, rc runCounters, addr string, idx int, interval time.Duration, deadline time.Time, ext *extrema) {
+	rng := rand.New(rand.NewSource(c.Seed + int64(idx)*1664525 + 1013904223))
+	var cl *Client
+	defer func() {
+		if cl != nil {
+			_ = cl.Close()
+		}
+	}()
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if cl == nil {
+			cl = dialUntil(addr, deadline)
+			if cl == nil {
+				return // server unreachable for the rest of the run
+			}
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+			if now := time.Now(); next.Before(now) {
+				next = now // behind schedule: no debt, resume the pace from here
+			}
+		}
+
+		key := fmt.Sprintf("k%04d", rng.Intn(c.Keys))
+		t0 := time.Now()
+		var (
+			status byte
+			err    error
+		)
+		if rng.Float64() < c.WriteFraction {
+			notPrimary, serr := cl.Set(key, fmt.Sprintf("v%d.%d", idx, rng.Int63()))
+			err = serr
+			if err == nil {
+				if notPrimary {
+					status = statusNotPrimary
+				} else {
+					status = statusOK
+				}
+			}
+		} else {
+			_, found, gerr := cl.Get(key)
+			err = gerr
+			if err == nil {
+				if found {
+					status = statusOK
+				} else {
+					status = statusNotFound
+				}
+			}
+		}
+		el := time.Since(t0)
+		rc.requests.Inc()
+		if err != nil {
+			rc.errs.Inc()
+			_ = cl.Close()
+			cl = dialUntil(addr, deadline)
+			if cl != nil {
+				rc.redials.Inc()
+			}
+			continue
+		}
+		rc.latency.Observe(el.Seconds())
+		ext.observe(el)
+		switch status {
+		case statusOK:
+			rc.ok.Inc()
+		case statusNotFound:
+			rc.notFound.Inc()
+		case statusNotPrimary:
+			rc.notPrimary.Inc()
+		}
+	}
+}
+
+// dialUntil connects with a small backoff until the deadline.
+func dialUntil(addr string, deadline time.Time) *Client {
+	for time.Now().Before(deadline) {
+		cl, err := DialClient(addr)
+		if err == nil {
+			return cl
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}

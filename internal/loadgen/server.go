@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dynvote/internal/register"
+	"dynvote/internal/wire"
+)
+
+// Server exposes one register.Store replica to load-generator clients
+// over TCP: accept, read length-prefixed requests, answer
+// synchronously. It is the "serve mode" client surface of
+// examples/replicateddb and the target of cmd/loadgen.
+type Server struct {
+	store *register.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer starts serving store on addr (e.g. "127.0.0.1:0"). A bind
+// failure is returned, not logged: a replica that cannot serve clients
+// must exit non-zero, not hang.
+func NewServer(store *register.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: listen %s: %w", addr, err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close drains the server: stop accepting, close every client
+// connection, wait for the handlers to exit. The store stays open —
+// the caller owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient accept failure; keep serving
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	var (
+		rbuf []byte
+		w    wire.Writer
+	)
+	for {
+		body, err := readFrame(conn, rbuf)
+		if err != nil {
+			return // client gone or corrupt stream
+		}
+		rbuf = body[:0]
+		r := wire.NewReader(body)
+		op := r.Byte()
+		key := string(r.RawBytes())
+		w.Reset()
+		switch {
+		case r.Err() != nil:
+			return
+		case op == opGet:
+			v, ok, _ := s.store.Get(key)
+			if ok {
+				w.Byte(statusOK)
+				w.RawBytes([]byte(v))
+			} else {
+				w.Byte(statusNotFound)
+				w.RawBytes(nil)
+			}
+		case op == opSet:
+			value := string(r.RawBytes())
+			if r.Err() != nil {
+				return
+			}
+			switch err := s.store.Set(key, value); {
+			case err == nil:
+				w.Byte(statusOK)
+				w.RawBytes(nil)
+			case errors.Is(err, register.ErrNotPrimary):
+				w.Byte(statusNotPrimary)
+				w.RawBytes(nil)
+			default:
+				w.Byte(statusError)
+				w.RawBytes([]byte(err.Error()))
+			}
+		default:
+			return // unknown op: corrupt stream
+		}
+		if err := writeFrame(conn, w.Bytes()); err != nil {
+			return
+		}
+	}
+}

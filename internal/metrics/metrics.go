@@ -145,6 +145,15 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // DefBuckets is a general-purpose latency scale (seconds).
 var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100}
 
+// WireBuckets is a sub-millisecond-to-seconds latency scale (seconds)
+// for localhost wire traffic and request/response latencies, where
+// DefBuckets' 1ms floor would flatten every observation into the first
+// bucket and quantile estimates with it.
+var WireBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // RoundBuckets suits round-count observations such as re-formation
 // latency (the simulator's unit of time is the message round).
 var RoundBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}
@@ -262,6 +271,86 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket
+// counts, interpolating linearly inside the bucket that holds the
+// target rank — the same estimator Prometheus's histogram_quantile
+// applies server-side. Observations landing in the +Inf overflow
+// bucket are reported as the highest finite bound (a quantile cannot
+// exceed what the buckets can resolve). Returns 0 on an empty
+// histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: clamp to the highest finite bound.
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		upper := h.Bounds[i]
+		return lower + (upper-lower)*(rank-float64(prev))/float64(c)
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// QuantileSummary is the standard latency triple extracted from a
+// histogram.
+type QuantileSummary struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Summary returns the p50/p95/p99 quantile estimates.
+func (h HistogramSnapshot) Summary() QuantileSummary {
+	return QuantileSummary{
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
+}
+
+// Quantile estimates the q-th quantile of the live histogram; see
+// HistogramSnapshot.Quantile. A nil histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().Quantile(q)
+}
+
+// Summary returns the live histogram's p50/p95/p99 estimates. A nil
+// histogram reports zeros.
+func (h *Histogram) Summary() QuantileSummary {
+	if h == nil {
+		return QuantileSummary{}
+	}
+	return h.snapshot().Summary()
+}
+
 // Snapshot is a registry's full state at a point in time. It
 // round-trips through encoding/json (bucket +Inf is implicit, so no
 // non-finite values appear).
@@ -343,7 +432,9 @@ func (s Snapshot) Table() string {
 		rows = append(rows, row{name, fmt.Sprintf("%d", v)})
 	}
 	for name, h := range s.Histograms {
-		rows = append(rows, row{name, fmt.Sprintf("count=%d sum=%.6g mean=%.6g", h.Count, h.Sum, h.Mean())})
+		q := h.Summary()
+		rows = append(rows, row{name, fmt.Sprintf("count=%d sum=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g",
+			h.Count, h.Sum, h.Mean(), q.P50, q.P95, q.P99)})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	width := 0

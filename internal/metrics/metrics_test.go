@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -178,5 +179,78 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if s.Histograms["lat"].Count != 8000 {
 		t.Errorf("histogram count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("lat_s", "", []float64{0.01, 0.1, 1})
+	// 90 fast, 8 medium, 2 slow: a classic long-tail latency shape.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 8; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(0.5)
+	h.Observe(0.5)
+
+	// p50 interpolates inside the first bucket (0, 0.01]: rank 50 of
+	// the 90 observations there -> 0.01 * 50/90.
+	if got, want := h.Quantile(0.50), 0.01*50.0/90.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p95 lands in the (0.01, 0.1] bucket: rank 95, 90 below, 8 in
+	// bucket -> 0.01 + 0.09 * 5/8.
+	if got, want := h.Quantile(0.95), 0.01+0.09*5.0/8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p95 = %v, want %v", got, want)
+	}
+	// p99 lands in the (0.1, 1] bucket: rank 99, 98 below, 2 in bucket
+	// -> 0.1 + 0.9 * 1/2.
+	if got, want := h.Quantile(0.99), 0.1+0.9*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	sum := h.Summary()
+	if sum.P50 != h.Quantile(0.50) || sum.P95 != h.Quantile(0.95) || sum.P99 != h.Quantile(0.99) {
+		t.Errorf("Summary %+v disagrees with Quantile", sum)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *metrics.Histogram
+	if nilH.Quantile(0.5) != 0 || (nilH.Summary() != metrics.QuantileSummary{}) {
+		t.Error("nil histogram quantiles should be 0")
+	}
+	r := metrics.NewRegistry()
+	empty := r.Histogram("empty", "", []float64{1, 2})
+	if empty.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+
+	over := r.Histogram("over", "", []float64{1, 2})
+	over.Observe(50) // everything in the +Inf overflow bucket
+	if got := over.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile = %v, want the top finite bound 2", got)
+	}
+
+	clamp := r.Histogram("clamp", "", []float64{1})
+	clamp.Observe(0.5)
+	if got := clamp.Quantile(-3); got < 0 {
+		t.Errorf("q<0 not clamped: %v", got)
+	}
+	if got := clamp.Quantile(7); got > 1 {
+		t.Errorf("q>1 not clamped: %v", got)
+	}
+}
+
+func TestTableIncludesQuantiles(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	tab := r.Snapshot().Table()
+	if !strings.Contains(tab, "p50=3") || !strings.Contains(tab, "p95=4") || !strings.Contains(tab, "p99=4") {
+		t.Errorf("Table missing quantiles: %q", tab)
 	}
 }

@@ -79,6 +79,18 @@ func writePrometheus(w io.Writer, s Snapshot, help map[string]string) error {
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 		fmt.Fprintf(&b, "%s_sum %s\n", pn, strconv.FormatFloat(h.Sum, 'g', -1, 64))
 		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+		// Server-side quantile estimates as a companion gauge family:
+		// native histograms carry no quantile series, so scrapers
+		// without a PromQL evaluator (curl, the loadgen harness, CI
+		// smoke checks) get p50/p95/p99 directly.
+		q := h.Summary()
+		fmt.Fprintf(&b, "# TYPE %s_quantile gauge\n", pn)
+		for _, p := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", q.P50}, {"0.95", q.P95}, {"0.99", q.P99}} {
+			fmt.Fprintf(&b, "%s_quantile{q=%q} %s\n", pn, p.label, strconv.FormatFloat(p.v, 'g', -1, 64))
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -42,6 +42,10 @@ reform_rounds_bucket{le="4"} 2
 reform_rounds_bucket{le="+Inf"} 3
 reform_rounds_sum 13
 reform_rounds_count 3
+# TYPE reform_rounds_quantile gauge
+reform_rounds_quantile{q="0.5"} 3
+reform_rounds_quantile{q="0.95"} 4
+reform_rounds_quantile{q="0.99"} 4
 `
 	if b.String() != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
@@ -64,7 +68,7 @@ func TestPrometheusFormatValid(t *testing.T) {
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.eE+]+|\+Inf|NaN)$`)
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(le|q)="([^"]+)"\})? (-?[0-9.eE+]+|\+Inf|NaN)$`)
 	lastBucket := map[string]float64{}
 	infBucket := map[string]float64{}
 	counts := map[string]float64{}
@@ -76,14 +80,14 @@ func TestPrometheusFormatValid(t *testing.T) {
 		if m == nil {
 			t.Fatalf("line does not parse as a prometheus sample: %q", line)
 		}
-		v, err := strconv.ParseFloat(m[4], 64)
+		v, err := strconv.ParseFloat(m[5], 64)
 		if err != nil {
 			t.Fatalf("bad sample value in %q: %v", line, err)
 		}
 		switch {
-		case m[2] != "" && m[3] == "+Inf":
+		case m[3] == "le" && m[4] == "+Inf":
 			infBucket[m[1]] = v
-		case m[2] != "":
+		case m[3] == "le":
 			if v < lastBucket[m[1]] {
 				t.Errorf("bucket series %s not cumulative: %q", m[1], line)
 			}

@@ -57,8 +57,9 @@ type Entry struct {
 
 // Store is one replica of the register.
 type Store struct {
-	id   proc.ID
-	node *gcs.Node
+	id      proc.ID
+	node    *gcs.Node
+	onEvent func(gcs.Event)
 
 	mu   sync.Mutex
 	data map[string]Entry
@@ -79,17 +80,22 @@ type Config struct {
 	// Algorithm selects the primary component algorithm (e.g.
 	// ykd.Factory(ykd.VariantYKD)).
 	Algorithm core.Factory
+	// OnEvent, when non-nil, observes the underlying node's events
+	// after the store has applied them — how a harness hooks a
+	// failover timeline (gcs.Timeline.Hook) onto a running replica.
+	// Runs on the node's loop goroutine and must not block.
+	OnEvent func(gcs.Event)
 }
 
 // Open starts a replica. Close stops it.
 func Open(cfg Config) (*Store, error) {
-	s := &Store{id: cfg.ID, data: make(map[string]Entry)}
+	s := &Store{id: cfg.ID, data: make(map[string]Entry), onEvent: cfg.OnEvent}
 	node, err := gcs.NewNode(gcs.Config{
 		ID:        cfg.ID,
 		N:         cfg.N,
 		Transport: cfg.Transport,
 		Algorithm: cfg.Algorithm,
-		OnEvent:   s.onEvent,
+		OnEvent:   s.handleEvent,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("register: %w", err)
@@ -177,8 +183,8 @@ func decodeWrite(r *wire.Reader) (string, Entry) {
 	}}
 }
 
-// onEvent runs on the gcs node's loop goroutine.
-func (s *Store) onEvent(ev gcs.Event) {
+// handleEvent runs on the gcs node's loop goroutine.
+func (s *Store) handleEvent(ev gcs.Event) {
 	switch ev.Kind {
 	case gcs.EventApp:
 		s.applyPayload(ev.Payload)
@@ -187,6 +193,9 @@ func (s *Store) onEvent(ev gcs.Event) {
 		// members catch up. Queued asynchronously — we are on the
 		// loop goroutine and must not block.
 		go s.broadcastSync()
+	}
+	if s.onEvent != nil {
+		s.onEvent(ev)
 	}
 }
 
