@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 5
+BENCH_N ?= 8
 
 # Allowed ns/op growth percentage in bench-compare. Generous on purpose:
 # ns/op flakes with machine load, so the gate only catches hot-loop
@@ -13,9 +13,9 @@ TIME_TOLERANCE ?= 75
 # check is the tier-1 gate: formatting, vet, build, full test suite,
 # plus the allocation guards, the set-vs-model property tests under the
 # race detector, a short race pass over the reset determinism tests,
-# sharded soak campaigns under the race detector at both the thesis
-# scale and the wide 128-process scale (the properties the run-reuse
-# lifecycle, the multi-word set representation and the campaign engine
+# soak campaigns under the race detector at both the thesis scale and
+# the kilo-process 1024-proc scale (the properties the run-reuse
+# lifecycle, the wide-word set representation and the campaign engine
 # must never lose silently), and the live-path smoke: a real TCP
 # cluster under client load with an injected partition.
 check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke
@@ -73,7 +73,7 @@ alloc-guard:
 # op is compared against a reference model at the word-boundary sizes
 # 63/64/65 and 255/256/257.
 set-model:
-	$(GO) test -race -run 'SetModel|FuzzSetModel' -count 1 ./internal/proc/
+	$(GO) test -race -run 'SetModel|FuzzSetModel|BitsModel|BitsReset' -count 1 ./internal/proc/
 
 # race-reset runs the reset-vs-fresh golden tests under the race
 # detector: the per-worker driver reuse in the experiment layer must
@@ -96,11 +96,11 @@ soak-short:
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -inproc 3 -conns 4 -duration 2s -partition 500ms -heal 1300ms -q -smoke
 
-# soak-large is the same campaign at the top of the scaling sweep's
-# comfortable range under the race detector: 128 processes, all six
-# algorithms, checker on. The change budget is small — at this width
-# each cascading segment already exercises the multi-word set and wide
-# quorum paths thousands of times, and mr1p's reporter tables dominate
-# the wall clock.
+# soak-large is the safety campaign at the kilo-process scale under
+# the race detector: 1024 processes, one algorithm, checker on. The
+# change budget is minimal — a single cascading segment at this width
+# pushes on the order of a million deliveries through the wide-word
+# set, batched delivery and arena paths, and the race detector
+# multiplies every one of them, so two changes already cost ~90s.
 soak-large:
-	$(GO) run -race ./cmd/quorumcheck -changes 12 -segment 6 -chains 2 -procs 128 -progress 0
+	$(GO) run -race ./cmd/quorumcheck -changes 2 -segment 2 -chains 1 -procs 1024 -alg ykd -progress 0

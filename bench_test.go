@@ -283,6 +283,17 @@ func BenchmarkSingleRun128(b *testing.B) { benchSingleRun(b, 128) }
 
 func BenchmarkSingleRun256(b *testing.B) { benchSingleRun(b, 256) }
 
+// BenchmarkSingleRun512 and BenchmarkSingleRun1024 extend the scaling
+// ladder past the inline set boundary, on the identical workload — no
+// reduced change count, no shortened runs — so the reported ratios are
+// honest. The O(N²) message floor alone puts 1024 at 16× the 256-proc
+// traffic; the kilo-process pass's job is to keep the per-message cost
+// flat enough that the measured ratio stays near that floor rather
+// than the 100×+ the allocation-bound paths produced.
+func BenchmarkSingleRun512(b *testing.B) { benchSingleRun(b, 512) }
+
+func BenchmarkSingleRun1024(b *testing.B) { benchSingleRun(b, 1024) }
+
 func benchSingleRun(b *testing.B, procs int) {
 	b.Helper()
 	b.ReportAllocs()

@@ -41,7 +41,7 @@ func run(args []string) (err error) {
 		mode    = fs.String("mode", "fresh", "fresh or cascading")
 		seed    = fs.Int64("seed", 20000505, "random seed")
 		sizes   = fs.Bool("sizes", false, "measure message sizes (slower)")
-		scaling = fs.Bool("scaling", false, "run the N-scaling study (32..256 processes) instead of a single case")
+		scaling = fs.Bool("scaling", false, "run the N-scaling study (32..1024 processes) instead of a single case")
 		check   = fs.Bool("check", false, "run safety checker during every run")
 		mout    = fs.String("metrics-out", "", "write a machine-readable JSON run report (results + metrics snapshot) to this file")
 		workers = fs.Int("workers", 0, "run worker budget (0 = GOMAXPROCS, 1 = sequential)")
@@ -112,8 +112,10 @@ func run(args []string) (err error) {
 
 	if *scaling {
 		// The N-scaling sweep: the §4.1 scaling check extended out to
-		// 256 processes, on the standard ykd workload. -changes, -rate,
-		// -runs and -seed carry over; -alg/-procs do not apply.
+		// 1024 processes, on the standard ykd workload. -changes, -rate,
+		// -runs and -seed carry over (-runs as the per-case budget up to
+		// 256 processes, divided by (N/256)² beyond); -alg/-procs do
+		// not apply.
 		sspec := experiment.ScalingStudySpec{
 			Rates: []float64{*rate}, Changes: *changes, Runs: *runs, Seed: *seed,
 		}

@@ -46,14 +46,31 @@ func TestScalingStudySmallSweep(t *testing.T) {
 	}
 }
 
-// The default sweep must reach 256 processes — the contract the
+// The default sweep must reach 1024 processes — the contract the
 // README and DESIGN quote for the beyond-thesis scaling extension.
-func TestScalingDefaultsReach256(t *testing.T) {
+func TestScalingDefaultsReach1024(t *testing.T) {
 	spec := ScalingStudySpec{}.Defaults()
-	if spec.Sizes[0] != 32 || spec.Sizes[len(spec.Sizes)-1] != 256 {
-		t.Errorf("default sizes = %v, want 32..256", spec.Sizes)
+	if spec.Sizes[0] != 32 || spec.Sizes[len(spec.Sizes)-1] != 1024 {
+		t.Errorf("default sizes = %v, want 32..1024", spec.Sizes)
 	}
 	if len(spec.Rates) != 3 || spec.Runs != 1000 || spec.Changes != 6 {
 		t.Errorf("defaults = %+v", spec)
+	}
+}
+
+// Past 256 processes the run budget is divided by (N/256)², floored at
+// 25 samples, never raised above the configured budget.
+func TestScalingRunBudgets(t *testing.T) {
+	spec := ScalingStudySpec{}.Defaults()
+	for _, tc := range []struct{ n, want int }{
+		{32, 1000}, {256, 1000}, {512, 250}, {1024, 62},
+	} {
+		if got := spec.runsFor(tc.n); got != tc.want {
+			t.Errorf("runsFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	small := ScalingStudySpec{Runs: 10}.Defaults()
+	if got := small.runsFor(1024); got != 10 {
+		t.Errorf("small-budget runsFor(1024) = %d, want the configured 10", got)
 	}
 }

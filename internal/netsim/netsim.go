@@ -64,6 +64,13 @@ type Topology struct {
 	// Both are consumed before the next topology call, never retained.
 	liveScratch  []int
 	splitScratch []int
+
+	// Carve scratch for randomPartition: the member-by-member split
+	// mutates Bits accumulators and freezes the results, so a partition
+	// of a kilo-process component costs two Set allocations (the new
+	// components) instead of one copy-on-write clone per moved process.
+	partRemaining proc.Bits
+	partMoved     proc.Bits
 }
 
 // New returns a topology over processes 0..n-1, fully connected, with
@@ -248,14 +255,20 @@ func (t *Topology) randomPartition(r *rng.Source) Change {
 	comp := t.comps[idx]
 	size := comp.Count()
 
+	// Carve on Bits accumulators: Bits.Nth selects exactly like
+	// Set.Nth, so the rng draw sequence — one Intn per moved process,
+	// bounded by the shrinking remainder — is identical to the historic
+	// Set-based loop and the pinned golden streams.
 	moveCount := 1 + r.Intn(size-1)
-	var moved proc.Set
-	remaining := comp
+	rem, mov := &t.partRemaining, &t.partMoved
+	rem.Load(comp)
+	mov.Reset(int(t.universe.Max()) + 1)
 	for i := 0; i < moveCount; i++ {
-		pick := remaining.Nth(r.Intn(remaining.Count()))
-		moved.Add(pick)
-		remaining.Remove(pick)
+		pick := rem.Nth(r.Intn(rem.Count()))
+		mov.Add(pick)
+		rem.Remove(pick)
 	}
+	remaining, moved := rem.Freeze(), mov.Freeze()
 
 	t.comps[idx] = remaining
 	t.comps = append(t.comps, moved)

@@ -55,6 +55,11 @@ type LineChart struct {
 	Series   []Series // at most 5; slot colors are fixed
 	// YMin/YMax bound the axis; ticks are drawn at clean steps.
 	YMin, YMax float64
+	// XLog2 positions points at log₂(x) instead of x, for series whose
+	// X values span octaves (the N-scaling study's 32..1024 sizes would
+	// pile the small sizes into the left tenth of a linear axis). Tick
+	// labels still show the raw values. Requires every X > 0.
+	XLog2 bool
 }
 
 const (
@@ -98,13 +103,25 @@ func (c LineChart) Render() (string, error) {
 		c.YMin, c.YMax = autoRange(c.Series)
 	}
 
+	xs := make([]float64, len(c.X))
+	for i, x := range c.X {
+		if c.XLog2 {
+			if x <= 0 {
+				return "", fmt.Errorf("plot: XLog2 requires positive X values, got %g", x)
+			}
+			xs[i] = math.Log2(x)
+		} else {
+			xs[i] = x
+		}
+	}
+
 	plotW := float64(chartW - marLeft - marRt)
 	plotH := float64(chartH - marTop - marBot)
-	xmin, xmax := c.X[0], c.X[len(c.X)-1]
+	xmin, xmax := xs[0], xs[len(xs)-1]
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
-	sx := func(x float64) float64 { return marLeft + (x-xmin)/(xmax-xmin)*plotW }
+	sx := func(i int) float64 { return marLeft + (xs[i]-xmin)/(xmax-xmin)*plotW }
 	sy := func(y float64) float64 { return marTop + plotH - (y-c.YMin)/(c.YMax-c.YMin)*plotH }
 
 	var b svgBuilder
@@ -118,13 +135,17 @@ func (c LineChart) Render() (string, error) {
 		b.el(`<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" font-size="12" fill="%s">%g</text>`,
 			marLeft-8, y, mutedText, tick)
 	}
-	// X ticks on the data points (skip crowding).
-	step := 1
-	if len(c.X) > 9 {
-		step = 2
-	}
-	for i := 0; i < len(c.X); i += step {
-		x := sx(c.X[i])
+	// X ticks on the data points. A label is drawn only when it clears
+	// the previous one by a readable gap, so uneven spacings (log-scale
+	// octaves, dense linear sweeps) can never collide.
+	const minLabelGap = 34
+	lastLabelX := math.Inf(-1)
+	for i := range c.X {
+		x := sx(i)
+		if x-lastLabelX < minLabelGap {
+			continue
+		}
+		lastLabelX = x
 		b.el(`<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12" fill="%s">%g</text>`,
 			x, marTop+plotH+20, mutedText, c.X[i])
 	}
@@ -141,13 +162,13 @@ func (c LineChart) Render() (string, error) {
 			if i == 0 {
 				cmd = "M"
 			}
-			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(c.X[i]), sy(v))
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(i), sy(v))
 		}
 		b.el(`<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`,
 			strings.TrimSpace(path.String()), color(si))
 		for i, v := range s.Values {
 			b.el(`<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="%s" stroke-width="2"><title>%s — rate %g: %.1f%%</title></circle>`,
-				sx(c.X[i]), sy(v), color(si), surface, esc(s.Name), c.X[i], v)
+				sx(i), sy(v), color(si), surface, esc(s.Name), c.X[i], v)
 		}
 	}
 

@@ -1,0 +1,148 @@
+package proc
+
+import "math/bits"
+
+// Bits is a mutable, exclusively-owned bitset over a fixed-width
+// universe: the accumulator behind hot paths that build membership one
+// process at a time. Set is immutable by convention and copy-on-write
+// past the inline words, so an Add loop over a kilo-process set
+// allocates a fresh word slice per insertion; a Bits is never shared,
+// so after one Reset to the universe width every mutation is an
+// in-place word operation with zero allocations. Freeze converts the
+// accumulated membership back into a Set at the boundary where the
+// result is published.
+//
+// The zero value is an empty accumulator over an empty universe; Reset
+// (or Load) establishes the width. Membership count is tracked
+// incrementally so Count is O(1) — the per-delivery "have all states
+// arrived?" checks pay no popcount.
+type Bits struct {
+	words []uint64
+	count int
+}
+
+// Reset empties b and widens it to cover IDs 0..n-1, reusing the
+// existing word storage when it is large enough. After Reset every
+// Add/Remove of an ID below n is allocation-free.
+func (b *Bits) Reset(n int) {
+	nw := (n + wordBits - 1) / wordBits
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+	} else {
+		b.words = b.words[:nw]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.count = 0
+}
+
+// Load replaces b's content with s, growing as needed. The subsequent
+// width is s's trimmed word count, which suffices for any ID already a
+// member — the partition carving in netsim loads a component and only
+// ever removes.
+func (b *Bits) Load(s Set) {
+	sw := s.Bitmap()
+	if cap(b.words) < len(sw) {
+		b.words = make([]uint64, len(sw))
+	} else {
+		b.words = b.words[:len(sw)]
+	}
+	n := 0
+	for i, w := range sw {
+		b.words[i] = w
+		n += bits.OnesCount64(w)
+	}
+	b.count = n
+}
+
+// Add inserts id. The id must lie within the width established by the
+// last Reset/Load; out-of-range IDs panic like any slice index.
+func (b *Bits) Add(id ID) {
+	w := &b.words[uint(id)/wordBits]
+	bit := uint64(1) << (uint(id) % wordBits)
+	if *w&bit == 0 {
+		*w |= bit
+		b.count++
+	}
+}
+
+// Remove deletes id if present; IDs beyond the width are no-ops (they
+// cannot be members).
+func (b *Bits) Remove(id ID) {
+	wi := uint(id) / wordBits
+	if id < 0 || int(wi) >= len(b.words) {
+		return
+	}
+	bit := uint64(1) << (uint(id) % wordBits)
+	if b.words[wi]&bit != 0 {
+		b.words[wi] &^= bit
+		b.count--
+	}
+}
+
+// Contains reports whether id is a member.
+func (b *Bits) Contains(id ID) bool {
+	wi := uint(id) / wordBits
+	return id >= 0 && int(wi) < len(b.words) &&
+		b.words[wi]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Count returns |b| in constant time.
+func (b *Bits) Count() int { return b.count }
+
+// Empty reports whether b has no members.
+func (b *Bits) Empty() bool { return b.count == 0 }
+
+// AddSet inserts every member of s. One word-parallel pass; s must fit
+// within b's current width.
+func (b *Bits) AddSet(s Set) {
+	sw := s.Bitmap()
+	n := b.count
+	for i, w := range sw {
+		if w == 0 {
+			continue
+		}
+		old := b.words[i]
+		b.words[i] = old | w
+		n += bits.OnesCount64(w &^ old)
+	}
+	b.count = n
+}
+
+// ContainsSet reports s ⊆ b in one word-parallel pass, with no
+// allocation at any width.
+func (b *Bits) ContainsSet(s Set) bool {
+	sw := s.Bitmap()
+	for i, w := range sw {
+		if w == 0 {
+			continue
+		}
+		if i >= len(b.words) || w&^b.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Nth returns the n-th smallest member (0-based), or None if n is out
+// of range — the same selection contract as Set.Nth, so uniform random
+// picks draw identically from a Bits and its frozen Set.
+func (b *Bits) Nth(n int) ID {
+	if n < 0 {
+		return None
+	}
+	for i, w := range b.words {
+		c := bits.OnesCount64(w)
+		if n < c {
+			return nthInWord(w, n, i*wordBits)
+		}
+		n -= c
+	}
+	return None
+}
+
+// Freeze returns b's accumulated membership as an immutable Set. The
+// Set copies the words (allocating only past InlineProcs), so b may be
+// reused immediately.
+func (b *Bits) Freeze() Set { return SetFromWords(b.words) }

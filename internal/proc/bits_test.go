@@ -1,0 +1,134 @@
+package proc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsModel drives the mutable Bits accumulator against the same
+// map model as the Set tests, across the full boundary-size matrix.
+// Every few steps the accumulated membership is frozen and compared to
+// a Set built by the same script, pinning Freeze/Load equivalence.
+func TestBitsModel(t *testing.T) {
+	for _, maxID := range boundarySizes {
+		maxID := maxID
+		t.Run(ID(maxID).String(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(1000 + maxID)))
+			var b Bits
+			b.Reset(maxID + 1)
+			m := setModel{}
+			var mirror Set
+			for step := 0; step < 300; step++ {
+				id := ID(r.Intn(maxID + 1))
+				switch r.Intn(3) {
+				case 0:
+					b.Add(id)
+					mirror.Add(id)
+					m[id] = true
+				case 1:
+					b.Remove(id)
+					mirror.Remove(id)
+					delete(m, id)
+				case 2:
+					other := NewSet(id, ID(r.Intn(maxID+1)))
+					b.AddSet(other)
+					mirror = mirror.Union(other)
+					other.ForEach(func(q ID) { m[q] = true })
+				}
+				want := m.members()
+				if b.Count() != len(want) {
+					t.Fatalf("step %d: Count = %d, model has %d", step, b.Count(), len(want))
+				}
+				if b.Empty() != (len(want) == 0) {
+					t.Fatalf("step %d: Empty = %v with %d members", step, b.Empty(), len(want))
+				}
+				for i, id := range want {
+					if b.Nth(i) != id {
+						t.Fatalf("step %d: Nth(%d) = %v, model = %v", step, i, b.Nth(i), id)
+					}
+				}
+				if b.Nth(len(want)) != None || b.Nth(-1) != None {
+					t.Fatalf("step %d: Nth out of range not None", step)
+				}
+				if !b.ContainsSet(mirror) {
+					t.Fatalf("step %d: ContainsSet(mirror) = false", step)
+				}
+				if step%10 == 0 {
+					for id := ID(0); id <= ID(maxID); id++ {
+						if b.Contains(id) != m[id] {
+							t.Fatalf("step %d: Contains(%v) = %v, model = %v",
+								step, id, b.Contains(id), m[id])
+						}
+					}
+					if f := b.Freeze(); !f.Equal(mirror) {
+						t.Fatalf("step %d: Freeze = %v, mirror = %v", step, f, mirror)
+					}
+				}
+			}
+			// ContainsSet must reject strict supersets and accept after AddSet.
+			super := mirror.With(ID(maxID)).With(0)
+			if !mirror.SubsetOf(super) {
+				t.Fatal("test bug: super not a superset")
+			}
+			if b.ContainsSet(super) != super.SubsetOf(mirror) {
+				t.Fatalf("ContainsSet(super) = %v, want %v",
+					b.ContainsSet(super), super.SubsetOf(mirror))
+			}
+			b.AddSet(super)
+			if !b.ContainsSet(super) || b.Count() != super.Count() {
+				t.Fatal("AddSet(super) did not cover super")
+			}
+		})
+	}
+}
+
+// TestBitsResetWidths checks that Reset both widens and narrows
+// correctly and clears stale words on storage reuse.
+func TestBitsResetWidths(t *testing.T) {
+	var b Bits
+	b.Reset(1024)
+	b.Add(1023)
+	b.Add(3)
+	b.Reset(64)
+	if b.Count() != 0 || b.Contains(3) || b.Contains(1023) {
+		t.Fatalf("Reset(64) left members behind: count=%d", b.Count())
+	}
+	b.Add(63)
+	b.Reset(1024)
+	if b.Contains(63) || b.Count() != 0 {
+		t.Fatal("Reset(1024) resurrected a cleared member")
+	}
+	b.Add(1023)
+	if got := b.Freeze(); got.Count() != 1 || !got.Contains(1023) {
+		t.Fatalf("Freeze = %v, want {p1023}", got)
+	}
+}
+
+// TestBitsSteadyStateAllocFree pins the whole point of the type: after
+// one Reset at the universe width, the mutation and query surface is
+// allocation-free even at 1024 processes.
+func TestBitsSteadyStateAllocFree(t *testing.T) {
+	var b Bits
+	b.Reset(1024)
+	u := Universe(1024)
+	half := Universe(512)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset(1024)
+		for id := ID(0); id < 1024; id += 3 {
+			b.Add(id)
+		}
+		b.AddSet(half)
+		if b.ContainsSet(u) {
+			t.Fatal("ContainsSet(universe) should be false")
+		}
+		b.Remove(0)
+		if b.Nth(0) != 1 || !b.Contains(1) || b.Empty() {
+			t.Fatal("unexpected membership")
+		}
+		b.Load(half)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Bits ops allocated %.1f times per run", allocs)
+	}
+}

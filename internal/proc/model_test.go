@@ -64,11 +64,37 @@ func checkAgainstModel(t *testing.T, s Set, m setModel, maxID int) {
 	if rt := NewSet(s.Members()...); !rt.Equal(s) || rt.Key() != s.Key() {
 		t.Fatalf("Members round trip diverged: %v vs %v", rt, s)
 	}
+	walked := 0
+	s.EachWhile(func(id ID) bool {
+		if id != want[walked] {
+			t.Fatalf("EachWhile visited %v at %d, model = %v", id, walked, want[walked])
+		}
+		walked++
+		return true
+	})
+	if walked != len(want) {
+		t.Fatalf("EachWhile visited %d members, model has %d", walked, len(want))
+	}
+	if len(want) > 1 {
+		stopped := 0
+		s.EachWhile(func(ID) bool { stopped++; return stopped < 2 })
+		if stopped != 2 {
+			t.Fatalf("EachWhile early exit walked %d members, want 2", stopped)
+		}
+	}
+	var bs Bits
+	bs.Load(s)
+	if bs.Count() != len(want) || !bs.ContainsSet(s) || !bs.Freeze().Equal(s) {
+		t.Fatalf("Bits.Load round trip diverged for %v", s)
+	}
 }
 
 // boundarySizes are the domains under test: one ID below, at, and
-// above each representation boundary.
-var boundarySizes = []int{63, 64, 65, 255, 256, 257}
+// above each representation boundary — the inline word boundaries
+// 63/64/65 and 255/256/257, and the kilo-process overflow boundaries
+// 511/512/513 and 1023/1024/1025 where every operation runs on the
+// variable-length word loops.
+var boundarySizes = []int{63, 64, 65, 255, 256, 257, 511, 512, 513, 1023, 1024, 1025}
 
 func TestSetModelMutations(t *testing.T) {
 	for _, maxID := range boundarySizes {
@@ -181,5 +207,38 @@ func FuzzSetModel(f *testing.F) {
 			}
 		}
 		checkAgainstModel(t, s, m, 257)
+	})
+}
+
+// FuzzSetModelWide is FuzzSetModel's kilo-process counterpart: each
+// byte triple is (op, idHi, idLo) with the 16-bit id reduced into the
+// 0..1025 domain, so scripts cross the 512- and 1024-process word
+// boundaries that single-byte ids can never reach.
+func FuzzSetModelWide(f *testing.F) {
+	f.Add([]byte{0, 1, 255, 0, 2, 0, 0, 2, 1, 1, 2, 0})   // 511, 512, 513, del 512
+	f.Add([]byte{2, 3, 255, 2, 4, 0, 3, 3, 255, 0, 4, 1}) // 1023, 1024, del 1023, 1025
+	f.Add([]byte{0, 0, 255, 2, 4, 1, 1, 4, 1, 0, 0, 0})   // 255, 1025, del 1025, 0
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var s Set
+		m := setModel{}
+		for i := 0; i+2 < len(script); i += 3 {
+			op := script[i] % 4
+			id := ID(int(script[i+1])<<8|int(script[i+2])) % 1026
+			switch op {
+			case 0:
+				s = s.With(id)
+				m[id] = true
+			case 1:
+				s = s.Without(id)
+				delete(m, id)
+			case 2:
+				s.Add(id)
+				m[id] = true
+			case 3:
+				s.Remove(id)
+				delete(m, id)
+			}
+		}
+		checkAgainstModel(t, s, m, 1025)
 	})
 }

@@ -337,6 +337,40 @@ func (s Set) InlineWords() ([inlineWords]uint64, bool) {
 	return s.w, len(s.rest) == 0
 }
 
+// Bitmap returns the set's complete word list without copying: the
+// overflow slice when one exists, otherwise the inline array. Word i
+// covers IDs [64i, 64i+63]; inline sets always yield inlineWords words
+// (trailing zeros included), overflow sets yield their trimmed list.
+// The slice aliases the receiver's storage — callers must treat it as
+// read-only and not hold it across a mutation of *s. This is the entry
+// point for word-parallel consumers (quorum's fused popcount loops,
+// Bits.AddSet/ContainsSet) that want one loop for every universe width
+// instead of an inline/overflow case split.
+func (s *Set) Bitmap() []uint64 {
+	if len(s.rest) != 0 {
+		return s.rest
+	}
+	return s.w[:]
+}
+
+// EachWhile calls fn for each member in ascending order until fn
+// returns false. The early exit is what separates it from ForEach:
+// witness scans ("does any member satisfy P?") over kilo-process sets
+// stop at the first hit instead of walking the remaining words.
+func (s Set) EachWhile(fn func(ID) bool) {
+	words := s.w[:]
+	if len(s.rest) != 0 {
+		words = s.rest
+	}
+	for i, w := range words {
+		for ; w != 0; w &= w - 1 {
+			if !fn(ID(i*wordBits + bits.TrailingZeros64(w))) {
+				return
+			}
+		}
+	}
+}
+
 // Equal reports whether s and t have identical membership.
 func (s Set) Equal(t Set) bool {
 	if s.w != t.w || len(s.rest) != len(t.rest) {

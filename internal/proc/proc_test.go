@@ -302,6 +302,53 @@ func BenchmarkUnion256(b *testing.B) {
 	}
 }
 
+// The 1024-process benchmarks pin the overflow-word paths at the
+// kilo-process sweep size: one variable-length word loop each, with
+// IntersectCount/ForEach allocation-free and Bits absorbing the
+// mutation traffic that Set's copy-on-write overflow would multiply.
+
+func BenchmarkIntersectCount1024(b *testing.B) {
+	x := Universe(1024)
+	y := NewSet(0, 5, 63, 64, 255, 256, 511, 512, 700, 1023)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectCount(y)
+	}
+}
+
+func BenchmarkForEach1024(b *testing.B) {
+	s := Universe(1024)
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(id ID) { n += int(id) })
+	}
+	benchSink = n
+}
+
+func BenchmarkUnion1024(b *testing.B) {
+	x := Universe(512)
+	y := Universe(1024).Diff(Universe(400))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSinkSet = x.Union(y)
+	}
+}
+
+func BenchmarkBitsAccumulate1024(b *testing.B) {
+	var acc Bits
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc.Reset(1024)
+		for id := ID(0); id < 1024; id++ {
+			acc.Add(id)
+		}
+		n += acc.Count()
+	}
+	benchSink = n
+}
+
 // TestSmallSetOpsAllocationFree pins the inline fast path: every set
 // operation on sets of ≤64 processes must stay off the heap. This is
 // the perf contract the simulator's hot loop depends on.

@@ -11,9 +11,10 @@
 // every resolution tally — so the ≤256-process case (every thesis
 // configuration plus the scaling sweep) is special-cased to
 // straight-line popcounts over the sets' fixed inline word arrays.
-// Beyond that, the general path still runs word-parallel popcount
-// loops (Count/IntersectCount/Smallest); quorum evaluation never
-// iterates set elements one by one.
+// Beyond that, the general path runs one fused word-parallel loop over
+// the sets' full word lists (proc.Set.Bitmap), computing |y|, |x ∩ y|,
+// and the tie-breaker membership in a single pass; quorum evaluation
+// never iterates set elements one by one at any width.
 package quorum
 
 import (
@@ -58,15 +59,39 @@ func SubQuorum(x, y proc.Set) bool {
 			return false
 		}
 	}
-	total := y.Count()
+	return subQuorumWide(&x, &y)
+}
+
+// subQuorumWide is the arbitrary-width path: one pass over y's word
+// list accumulating |y| and |x ∩ y|, capturing the tie-breaker test on
+// the first nonzero word (whose lowest set bit is y's lexically
+// smallest member) along the way. No allocation at any universe size.
+func subQuorumWide(x, y *proc.Set) bool {
+	xw, yw := x.Bitmap(), y.Bitmap()
+	total, common := 0, 0
+	tie, seen := false, false
+	for i, w := range yw {
+		if w == 0 {
+			continue
+		}
+		var xv uint64
+		if i < len(xw) {
+			xv = xw[i]
+		}
+		total += bits.OnesCount64(w)
+		common += bits.OnesCount64(xv & w)
+		if !seen {
+			seen = true
+			tie = xv&(w&-w) != 0
+		}
+	}
 	if total == 0 {
 		return false
 	}
-	common := x.IntersectCount(y)
 	if 2*common > total {
 		return true
 	}
-	return 2*common == total && x.Contains(y.Smallest())
+	return 2*common == total && tie
 }
 
 // Majority reports whether x holds a strict majority of y.
@@ -80,8 +105,24 @@ func Majority(x, y proc.Set) bool {
 			return total > 0 && 2*common > total
 		}
 	}
-	total := y.Count()
-	return total > 0 && 2*x.IntersectCount(y) > total
+	return majorityWide(&x, &y)
+}
+
+// majorityWide fuses |y| and |x ∩ y| into one word-parallel pass, the
+// tie-free counterpart of subQuorumWide.
+func majorityWide(x, y *proc.Set) bool {
+	xw, yw := x.Bitmap(), y.Bitmap()
+	total, common := 0, 0
+	for i, w := range yw {
+		if w == 0 {
+			continue
+		}
+		total += bits.OnesCount64(w)
+		if i < len(xw) {
+			common += bits.OnesCount64(xw[i] & w)
+		}
+	}
+	return total > 0 && 2*common > total
 }
 
 // MajorityCount reports whether have out of total constitutes a strict

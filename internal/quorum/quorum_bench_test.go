@@ -68,3 +68,26 @@ func BenchmarkMajorityOverflow(b *testing.B) {
 		sink = quorum.Majority(new_, old)
 	}
 }
+
+// The kilo-process variants pin the fused wide path at 16 words: one
+// pass, zero allocations.
+
+func BenchmarkSubQuorumKilo(b *testing.B) {
+	old := proc.Universe(1024)
+	new_ := proc.Universe(520)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.SubQuorum(new_, old)
+	}
+}
+
+func BenchmarkMajorityKilo(b *testing.B) {
+	old := proc.Universe(1024)
+	new_ := proc.Universe(520)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = quorum.Majority(new_, old)
+	}
+}

@@ -120,6 +120,70 @@ func TestSubQuorumMajorityRelation(t *testing.T) {
 	}
 }
 
+// TestWideAgainstReference cross-checks the fused kilo-process word
+// loop against the definitional three-pass evaluation (Count,
+// IntersectCount, Smallest) on random pairs spanning the overflow
+// boundaries, including mismatched widths where x is much narrower
+// than y.
+func TestWideAgainstReference(t *testing.T) {
+	for _, n := range []int{257, 511, 512, 513, 1023, 1024, 1025} {
+		r := rand.New(rand.NewSource(int64(n)))
+		for round := 0; round < 200; round++ {
+			y := randomNonEmpty(r, n)
+			x := randomNonEmpty(r, 1+r.Intn(n))
+			total, common := y.Count(), x.IntersectCount(y)
+			wantSub := 2*common > total || (2*common == total && x.Contains(y.Smallest()))
+			wantMaj := 2*common > total
+			if got := SubQuorum(x, y); got != wantSub {
+				t.Fatalf("n=%d round=%d: SubQuorum = %v, reference = %v", n, round, got, wantSub)
+			}
+			if got := Majority(x, y); got != wantMaj {
+				t.Fatalf("n=%d round=%d: Majority = %v, reference = %v", n, round, got, wantMaj)
+			}
+		}
+	}
+}
+
+// TestWideTieBreak pins the exact-half tie-breaker on overflow sets:
+// x holding exactly half of y wins iff it holds y's smallest member —
+// including when that member sits past the inline words.
+func TestWideTieBreak(t *testing.T) {
+	// y = {300..555}: 256 members, entirely in overflow words.
+	y := proc.Universe(556).Diff(proc.Universe(300))
+	lowHalf := proc.Universe(428).Diff(proc.Universe(300))  // 128 members incl. smallest (300)
+	highHalf := proc.Universe(556).Diff(proc.Universe(428)) // 128 members, no smallest
+	if !SubQuorum(lowHalf, y) {
+		t.Error("half including smallest overflow member must be a subquorum")
+	}
+	if SubQuorum(highHalf, y) {
+		t.Error("half excluding smallest overflow member must not be a subquorum")
+	}
+	if Majority(lowHalf, y) || Majority(highHalf, y) {
+		t.Error("exactly half is never a majority")
+	}
+	if SubQuorum(proc.Set{}, proc.Universe(1024).Diff(proc.Universe(1023))) {
+		t.Error("empty x cannot be a subquorum of a nonempty wide y")
+	}
+	if SubQuorum(proc.Universe(1024), proc.Set{}) {
+		t.Error("empty y has no subquorums at any width")
+	}
+}
+
+// TestWideQuorumAllocFree pins the fused path's allocation contract at
+// 1024 processes.
+func TestWideQuorumAllocFree(t *testing.T) {
+	y := proc.Universe(1024)
+	x := proc.Universe(700)
+	allocs := testing.AllocsPerRun(100, func() {
+		if !SubQuorum(x, y) || !Majority(x, y) {
+			t.Fatal("700 of 1024 must be both subquorum and majority")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("wide quorum evaluation allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func randomNonEmpty(r *rand.Rand, n int) proc.Set {
 	var s proc.Set
 	for i := 0; i < n; i++ {

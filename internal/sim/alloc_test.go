@@ -9,6 +9,7 @@ import (
 	"dynvote/internal/rng"
 	"dynvote/internal/sim"
 	"dynvote/internal/view"
+	"dynvote/internal/ykd"
 )
 
 // Allocation guards for the hot paths the perf work flattened: the
@@ -79,6 +80,27 @@ func TestDeliveryLoopAllocFree256(t *testing.T) {
 	}
 }
 
+// TestDeliveryLoopAllocFree1024 pins the loop past the inline-word
+// boundary: at 1024 processes every membership set spills to wide
+// words and the batched delivery path, recipient-ID arena, and Bits
+// scratch must all run without a single steady-state allocation.
+func TestDeliveryLoopAllocFree1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-proc rounds are slow")
+	}
+	c := sim.NewCluster(chatterFactory(), 1024)
+	r := rng.New(17)
+	c.Round(r)
+
+	allocs := testing.AllocsPerRun(3, func() {
+		c.Collect(r)
+		c.DeliverAll(r)
+	})
+	if allocs != 0 {
+		t.Errorf("1024-proc collect/deliver round allocates %.1f times, want 0", allocs)
+	}
+}
+
 // TestDriverResetAllocFree pins Driver.Reset — cluster, topology and
 // all algorithm instances — at zero allocations for every algorithm in
 // the study. The first reset after a run drains queues and clears the
@@ -142,5 +164,37 @@ func TestDriverResetAllocFree256(t *testing.T) {
 				t.Errorf("%s: 256-proc Driver.Reset allocates %.1f times, want 0", f.Name, allocs)
 			}
 		})
+	}
+}
+
+// TestDriverResetAllocFree1024 repeats the reset pin at kilo-process
+// width, where the arena rewind must reclaim every envelope chunk and
+// recipient block without touching the allocator. One algorithm
+// suffices — the reset path is algorithm-independent past the
+// per-process Reset calls, which the 16- and 256-proc variants already
+// cover for the full set.
+func TestDriverResetAllocFree1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-proc warm-up runs are slow")
+	}
+	const runs = 3
+	f := ykd.Factory(ykd.VariantYKD)
+	cfg := sim.Config{Procs: 1024, Changes: 1, MeanRounds: 1}
+	root := rng.New(61)
+	srcs := make([]*rng.Source, runs+2)
+	for i := range srcs {
+		srcs[i] = root.ChildLabel("alloc1024", int64(i))
+	}
+	d := sim.NewDriver(f, cfg, srcs[0])
+	if _, err := d.Run(); err != nil {
+		t.Fatalf("warm-up run: %v", err)
+	}
+	i := 1
+	allocs := testing.AllocsPerRun(runs, func() {
+		d.Reset(srcs[i])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("1024-proc Driver.Reset allocates %.1f times, want 0", allocs)
 	}
 }

@@ -45,8 +45,16 @@ type DropFilter func(from, to proc.ID, msg core.Message) bool
 type Cluster struct {
 	factory core.Factory
 	n       int
+	initial view.View // the all-connected view 0, built once (Universe allocates past InlineProcs)
 	algs    []core.Algorithm
 	cur     []view.View // current view per process
+
+	// Structure-of-arrays mirrors of the per-process state the delivery
+	// inner loop reads: one int64/bool load per delivery instead of
+	// dragging a 40-byte view.View or a bitset probe through the cache.
+	// curID[p] mirrors cur[p].ID; crashedFlag[p] mirrors crashed.
+	curID       []int64
+	crashedFlag []bool
 
 	queues    [][]*envelope      // per-sender FIFO of in-flight broadcasts
 	active    []int              // senders with pending deliveries (unordered)
@@ -54,10 +62,18 @@ type Cluster struct {
 	crashed   proc.Set           // fail-stopped processes: no polls, no deliveries
 	snapshots map[proc.ID][]byte // durable state captured at crash time
 
-	// Hot-path scratch storage. A run delivers hundreds of thousands
-	// of envelopes; recycling them (and the per-view recipient lists)
-	// keeps the steady-state delivery loop allocation-free.
-	free          []*envelope        // recycled envelopes with reusable recipient slices
+	// Per-run arena. Envelopes are handed out from grow-only chunks
+	// (stable pointers) tracked by a single cursor, so Reset rewinds
+	// every envelope ever issued with one index store instead of
+	// walking a free list; each envelope keeps the recipient slice it
+	// carved from the grow-only ID blocks across runs, so the
+	// steady-state fan-out path never touches the heap. free recycles
+	// envelopes within a run (the cursor only moves at high-water).
+	envChunks [][]envelope
+	envUsed   int         // envelopes issued from the arena since the last Reset
+	idBlocks  []proc.ID   // current recipient-ID block being carved
+	free      []*envelope // recycled envelopes with reusable recipient slices
+
 	recipBase     [][]proc.ID        // per-sender members-minus-sender, ascending order
 	recipView     []int64            // view ID each recipBase entry was built for (-1: none)
 	memberScratch []proc.ID          // IssueViews shuffle buffer
@@ -93,18 +109,25 @@ type Cluster struct {
 func NewCluster(factory core.Factory, n int) *Cluster {
 	initial := view.View{ID: 0, Members: proc.Universe(n)}
 	c := &Cluster{
-		factory:   factory,
-		n:         n,
-		algs:      make([]core.Algorithm, n),
-		cur:       make([]view.View, n),
-		queues:    make([][]*envelope, n),
-		recipBase: make([][]proc.ID, n),
-		recipView: make([]int64, n),
+		factory:     factory,
+		n:           n,
+		initial:     initial,
+		algs:        make([]core.Algorithm, n),
+		cur:         make([]view.View, n),
+		curID:       make([]int64, n),
+		crashedFlag: make([]bool, n),
+		queues:      make([][]*envelope, n),
+		recipBase:   make([][]proc.ID, n),
+		recipView:   make([]int64, n),
 	}
+	// All n recipient caches are carved from one block: at kilo-process
+	// sizes the per-sender make calls were n allocations of n-1 IDs
+	// each, dominating construction.
+	block := make([]proc.ID, n*(n-1))
 	for i := 0; i < n; i++ {
 		c.algs[i] = factory.New(proc.ID(i), initial)
 		c.cur[i] = initial
-		c.recipBase[i] = make([]proc.ID, 0, n-1)
+		c.recipBase[i] = block[i*(n-1) : i*(n-1) : (i+1)*(n-1)]
 		c.recipView[i] = -1
 	}
 	return c
@@ -124,15 +147,25 @@ func NewCluster(factory core.Factory, n int) *Cluster {
 // Reset is exact: a run on a reset cluster is bit-identical to the
 // same run on a fresh one (the reset-vs-fresh golden tests prove it).
 func (c *Cluster) Reset() {
-	initial := view.View{ID: 0, Members: proc.Universe(c.n)}
-	for p := 0; p < c.n; p++ {
-		q := c.queues[p]
+	initial := c.initial
+	// Drop the message references held by in-flight envelopes (only
+	// active senders have any) so the rewound arena pins no payloads;
+	// the envelopes themselves — and the recipient slices they carved —
+	// are reclaimed wholesale by rewinding the arena cursor below.
+	for _, s := range c.active {
+		q := c.queues[s]
 		for i, env := range q {
-			c.releaseEnvelope(env)
+			env.msg = nil
 			q[i] = nil
 		}
-		c.queues[p] = q[:0]
+		c.queues[s] = q[:0]
+	}
+	c.active = c.active[:0]
+	c.free = c.free[:0]
+	c.envUsed = 0 // the one-store arena rewind: every envelope is fresh again
+	for p := 0; p < c.n; p++ {
 		c.cur[p] = initial
+		c.curID[p] = 0
 		c.recipView[p] = -1
 		if res, ok := c.algs[p].(core.Resetter); ok {
 			res.Reset(proc.ID(p), initial)
@@ -140,9 +173,9 @@ func (c *Cluster) Reset() {
 			c.algs[p] = c.factory.New(proc.ID(p), initial)
 		}
 	}
-	c.active = c.active[:0]
 	c.pending = 0
 	c.crashed = proc.Set{}
+	clear(c.crashedFlag)
 	clear(c.snapshots) // crash-time durable state must not leak across runs
 	c.traceSeq = 0
 }
@@ -165,6 +198,7 @@ func (c *Cluster) Crash(p proc.ID) {
 		return
 	}
 	c.crashed = c.crashed.With(p)
+	c.crashedFlag[p] = true
 	if snap, ok := c.algs[p].(core.Snapshotter); ok {
 		if data, err := snap.Snapshot(); err == nil {
 			if c.snapshots == nil {
@@ -205,8 +239,7 @@ func (c *Cluster) Recover(p proc.ID) error {
 		return fmt.Errorf("sim: process %v is not crashed", p)
 	}
 	if data, ok := c.snapshots[p]; ok {
-		initial := view.View{ID: 0, Members: proc.Universe(c.n)}
-		fresh := c.factory.New(p, initial)
+		fresh := c.factory.New(p, c.initial)
 		snap, ok := fresh.(core.Snapshotter)
 		if !ok {
 			return fmt.Errorf("sim: %s snapshot exists but instance cannot restore", c.factory.Name)
@@ -218,6 +251,7 @@ func (c *Cluster) Recover(p proc.ID) error {
 		delete(c.snapshots, p)
 	}
 	c.crashed = c.crashed.Without(p)
+	c.crashedFlag[p] = false
 	return nil
 }
 
@@ -233,10 +267,11 @@ func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
 		members = v.Members.AppendMembers(members[:0])
 		r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 		for _, p := range members {
-			if c.crashed.Contains(p) {
+			if c.crashedFlag[p] {
 				continue
 			}
 			c.cur[p] = v
+			c.curID[p] = v.ID
 			c.algs[p].ViewChange(v)
 			installed++
 			if c.Trace != nil {
@@ -254,7 +289,7 @@ func (c *Cluster) IssueViews(r *rng.Source, views ...view.View) {
 func (c *Cluster) Collect(r *rng.Source) int {
 	added := 0
 	for p := 0; p < c.n; p++ {
-		if c.crashed.Contains(proc.ID(p)) {
+		if c.crashedFlag[p] {
 			continue
 		}
 		msgs := c.algs[p].Poll()
@@ -275,7 +310,12 @@ func (c *Cluster) Collect(r *rng.Source) int {
 			env := c.newEnvelope()
 			env.viewID = v.ID
 			env.msg = m
-			recipients := append(env.recipients[:0], base...)
+			recipients := env.recipients[:0]
+			if cap(recipients) < len(base) {
+				recipients = c.carveIDs(len(base))
+			}
+			recipients = recipients[:len(base)]
+			copy(recipients, base)
 			r.Shuffle(len(recipients), func(i, j int) {
 				recipients[i], recipients[j] = recipients[j], recipients[i]
 			})
@@ -313,7 +353,13 @@ func (c *Cluster) recipientsOf(v view.View, sender proc.ID) []proc.ID {
 	return buf
 }
 
-// newEnvelope takes an envelope off the free list, or allocates one.
+// envChunkSize is the envelope arena's chunk granularity. Chunks are
+// never freed or moved, so envelope pointers stay stable for the life
+// of the cluster.
+const envChunkSize = 128
+
+// newEnvelope takes an envelope off the free list, or issues the next
+// one from the arena (growing it by a chunk at the high-water mark).
 func (c *Cluster) newEnvelope() *envelope {
 	if n := len(c.free); n > 0 {
 		env := c.free[n-1]
@@ -322,7 +368,30 @@ func (c *Cluster) newEnvelope() *envelope {
 		env.next = 0
 		return env
 	}
-	return &envelope{}
+	if chunk := c.envUsed / envChunkSize; chunk == len(c.envChunks) {
+		c.envChunks = append(c.envChunks, make([]envelope, envChunkSize))
+	}
+	env := &c.envChunks[c.envUsed/envChunkSize][c.envUsed%envChunkSize]
+	c.envUsed++
+	env.next = 0
+	return env
+}
+
+// carveIDs cuts an n-ID slice out of the grow-only recipient arena.
+// Full blocks are simply abandoned to the envelopes already holding
+// slices into them; envelope recycling keeps each envelope's carved
+// slice across runs, so the carve rate falls to zero at steady state.
+func (c *Cluster) carveIDs(n int) []proc.ID {
+	if len(c.idBlocks)+n > cap(c.idBlocks) {
+		size := 4096
+		if size < n {
+			size = n
+		}
+		c.idBlocks = make([]proc.ID, 0, size)
+	}
+	s := len(c.idBlocks)
+	c.idBlocks = c.idBlocks[:s+n]
+	return c.idBlocks[s : s+n : s+n]
 }
 
 // releaseEnvelope recycles a fully delivered (or discarded) envelope,
@@ -348,49 +417,88 @@ func (c *Cluster) DeliverOne(r *rng.Source) bool {
 	if c.pending == 0 {
 		return false
 	}
-	ai := r.Intn(len(c.active))
-	sender := c.active[ai]
-	q := c.queues[sender]
-	env := q[0]
+	c.DeliverBatch(r, 1)
+	return true
+}
 
-	to := env.recipients[env.next]
-	env.next++
-	c.pending--
+// DeliverBatch performs up to n single delivery steps in one call —
+// the strike-free stretch between two connectivity changes, delivered
+// with the per-step bookkeeping (trace/drop/metrics nil checks, slice
+// header loads) hoisted out of the loop. Each step is identical to a
+// DeliverOne call: same rng draw, same FIFO pop, same drop rules, in
+// the same order, so a run built from batches is bit-identical to one
+// built from single steps; the driver relies on this to keep the
+// golden streams stable while the checker contract (changes may land
+// between any two deliveries) caps each batch at the next strike.
+func (c *Cluster) DeliverBatch(r *rng.Source, n int) {
+	if n > c.pending {
+		n = c.pending
+	}
+	if n <= 0 {
+		return
+	}
+	c.pending -= n
+	active := c.active
+	queues := c.queues
+	curID := c.curID
+	crashed := c.crashedFlag
+	algs := c.algs
+	drop := c.Drop
+	tracing := c.Trace != nil
+	var delivered, dropped int64
+	for ; n > 0; n-- {
+		ai := r.Intn(len(active))
+		sender := active[ai]
+		q := queues[sender]
+		env := q[0]
 
-	done := env.done()
-	if done {
-		copy(q, q[1:])
-		q[len(q)-1] = nil
-		q = q[:len(q)-1]
-		c.queues[sender] = q
-		if len(q) == 0 {
-			c.active[ai] = c.active[len(c.active)-1]
-			c.active = c.active[:len(c.active)-1]
+		to := env.recipients[env.next]
+		env.next++
+
+		done := env.done()
+		if done {
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			q = q[:len(q)-1]
+			queues[sender] = q
+			if len(q) == 0 {
+				active[ai] = active[len(active)-1]
+				active = active[:len(active)-1]
+			}
+		}
+
+		switch {
+		case crashed[to]:
+			// Dropped: recipient is gone.
+			dropped++
+			if tracing {
+				c.traceDelivery(trace.KindDrop, sender, to, env, "crashed")
+			}
+		case curID[to] != env.viewID:
+			// Dropped: recipient left the view (view-synchronous semantics).
+			dropped++
+			if tracing {
+				c.traceDelivery(trace.KindDrop, sender, to, env, "view changed")
+			}
+		case drop != nil && drop(proc.ID(sender), to, env.msg):
+			// Dropped by the test's filter.
+			dropped++
+			if tracing {
+				c.traceDelivery(trace.KindDrop, sender, to, env, "filtered")
+			}
+		default:
+			algs[to].Deliver(proc.ID(sender), env.msg)
+			delivered++
+			if tracing {
+				c.traceDelivery(trace.KindDeliver, sender, to, env, "")
+			}
+		}
+		if done {
+			c.releaseEnvelope(env)
 		}
 	}
-
-	switch {
-	case c.crashed.Contains(to):
-		// Dropped: recipient is gone.
-		c.Metrics.observeDelivery(false)
-		c.traceDelivery(trace.KindDrop, sender, to, env, "crashed")
-	case c.cur[to].ID != env.viewID:
-		// Dropped: recipient left the view (view-synchronous semantics).
-		c.Metrics.observeDelivery(false)
-		c.traceDelivery(trace.KindDrop, sender, to, env, "view changed")
-	case c.Drop != nil && c.Drop(proc.ID(sender), to, env.msg):
-		// Dropped by the test's filter.
-		c.Metrics.observeDelivery(false)
-		c.traceDelivery(trace.KindDrop, sender, to, env, "filtered")
-	default:
-		c.algs[to].Deliver(proc.ID(sender), env.msg)
-		c.Metrics.observeDelivery(true)
-		c.traceDelivery(trace.KindDeliver, sender, to, env, "")
-	}
-	if done {
-		c.releaseEnvelope(env)
-	}
-	return true
+	c.active = active
+	c.Metrics.observeDeliveries(delivered, dropped)
 }
 
 func (c *Cluster) traceDelivery(kind trace.Kind, sender int, to proc.ID, env *envelope, why string) {
@@ -411,8 +519,11 @@ func (c *Cluster) traceDelivery(kind trace.Kind, sender int, to proc.ID, env *en
 }
 
 // DeliverAll drains every pending delivery in randomized order.
+// Deliveries never enqueue new traffic (sends wait in algorithm
+// out-queues for the next Collect), so the whole drain is one batch.
 func (c *Cluster) DeliverAll(r *rng.Source) {
-	for c.DeliverOne(r) {
+	for c.pending > 0 {
+		c.DeliverBatch(r, c.pending)
 	}
 }
 
@@ -467,7 +578,7 @@ func (c *Cluster) CurrentViews() []view.View {
 	var seen map[int64]struct{}
 	last := int64(-1) // view IDs issued by netsim are non-negative
 	for p := 0; p < c.n; p++ {
-		if c.crashed.Contains(proc.ID(p)) {
+		if c.crashedFlag[p] {
 			continue
 		}
 		v := &c.cur[p]

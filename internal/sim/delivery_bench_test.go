@@ -10,12 +10,13 @@ import (
 
 // BenchmarkCollectDeliver measures one steady-state collect/deliver
 // round of the maximum-traffic chatter workload. The 64-process point
-// is the thesis's system size; 256 is the top of the scaling sweep and
-// the widest membership the inline proc.Set representation covers.
-// Both must report 0 allocs/op — the benchmarked counterpart of the
+// is the thesis's system size; 256 is the widest membership the inline
+// proc.Set representation covers; 1024 exercises the wide-word spill,
+// the batched delivery path, and the recipient-ID arena. All sizes
+// must report 0 allocs/op — the benchmarked counterpart of the
 // TestDeliveryLoopAllocFree* pins.
 func BenchmarkCollectDeliver(b *testing.B) {
-	for _, n := range []int{64, 256} {
+	for _, n := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
 			c := sim.NewCluster(chatterFactory(), n)
 			r := rng.New(17)

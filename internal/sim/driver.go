@@ -244,10 +244,20 @@ func (d *Driver) Run() (RunResult, error) {
 			injected = true
 			next++
 		}
+		// Deliver in strike-free stretches: each batch runs up to the
+		// next change position, then the change lands — the same
+		// single-delivery granularity as a DeliverOne-per-step loop
+		// (bit-identical rng consumption), minus the per-step strike
+		// scan. A stretch never undershoots a strike: step+pending only
+		// grows (Collect at strikes), so pending ≥ strikes[next]-step.
 		step := 0
 		for d.cluster.PendingDeliveries() > 0 {
-			d.cluster.DeliverOne(d.rng)
-			step++
+			stretch := d.cluster.PendingDeliveries()
+			if next < len(strikes) && strikes[next]-step < stretch {
+				stretch = strikes[next] - step
+			}
+			d.cluster.DeliverBatch(d.rng, stretch)
+			step += stretch
 			for next < len(strikes) && strikes[next] == step {
 				lastChangeRound = res.Rounds
 				d.applyChange(&res)

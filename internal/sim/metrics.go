@@ -74,15 +74,15 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 // Driver call sites to one line with a single branch on the disabled
 // path.
 
-func (m *Metrics) observeDelivery(delivered bool) {
+// observeDeliveries absorbs one DeliverBatch's local tallies. Batching
+// is observable-equivalent to per-step observation: the tallies are
+// plain local accumulators either way, flushed per run.
+func (m *Metrics) observeDeliveries(delivered, dropped int64) {
 	if m == nil {
 		return
 	}
-	if delivered {
-		m.delivered++
-	} else {
-		m.dropped++
-	}
+	m.delivered += delivered
+	m.dropped += dropped
 }
 
 func (m *Metrics) observeViews(n int) {

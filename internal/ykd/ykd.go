@@ -135,16 +135,29 @@ type Algorithm struct {
 	inPrimary     bool
 
 	// Per-view protocol state.
-	cur            view.View
-	phase          phase
-	states         []*StateMessage // indexed by proc.ID, reset each view
-	statesGot      int
+	cur       view.View
+	curSize   int // cached v.Members.Count(); compared on every state arrival
+	phase     phase
+	states    []*StateMessage // indexed by proc.ID, reset each view
+	statesGot int
+	// member[q] mirrors cur.Members, and stateWanted[q] starts as a
+	// copy of it, cleared as q's state arrives. Both are rebuilt once
+	// per view change so the per-delivery guards — the hottest loads in
+	// a kilo-process run — are single byte probes instead of multi-word
+	// bitset lookups: stateWanted folds "is a member" and "not yet
+	// reported" into one array read.
+	member         []bool
+	stateWanted    []bool
 	attemptSession view.Session
-	attempts       proc.Set
-	flushes        proc.Set
-	earlyAttempts  []early
-	earlyFlushes   []early
-	out            []core.Message
+	// attempts and flushes are tally accumulators: one Add per received
+	// message. proc.Bits rather than proc.Set because past InlineProcs a
+	// Set's Add is copy-on-write — a fresh multi-word slice per message
+	// — while a Bits mutates its reused storage in place.
+	attempts      proc.Bits
+	flushes       proc.Bits
+	earlyAttempts []early
+	earlyFlushes  []early
+	out           []core.Message
 	// outSpare is the second half of Poll's double buffer: the slice
 	// handed out by the previous Poll, reused as the next send queue
 	// once the host is done with it (the core.Algorithm contract makes
@@ -174,10 +187,12 @@ type early struct {
 }
 
 // formedGroup is snapshotState's intermediate grouping of the
-// lastFormed table; the backing slice is reused across broadcasts.
+// lastFormed table; the backing slice is reused across broadcasts, and
+// who is a Bits accumulator (its word storage survives reuse) so the
+// one-Add-per-process grouping loop never pays Set's copy-on-write.
 type formedGroup struct {
 	s   view.Session
-	who proc.Set
+	who proc.Bits
 }
 
 var (
@@ -204,13 +219,43 @@ func New(variant Variant, self proc.ID, initial view.View) *Algorithm {
 		formedIdx:   make([]int32, maxID+1),
 		inPrimary:   true,
 		cur:         initial,
+		curSize:     initial.Size(),
 		phase:       phaseIdle,
 		states:      make([]*StateMessage, maxID+1),
 	}
 	a.formedDict = a.formedStore[:1]
 	wi := a.internFormed(w)
 	initial.Members.ForEach(func(id proc.ID) { a.formedIdx[id] = wi })
+	a.sizeMemberTables(maxID + 1)
+	a.markMembers(initial)
 	return a
+}
+
+// sizeMemberTables (re)sizes member and stateWanted to n entries. Both
+// tables are carved from one backing array: instances are created per
+// process, so at kilo-process widths one allocation instead of two per
+// instance is n fewer per driver construction.
+func (a *Algorithm) sizeMemberTables(n int) {
+	if cap(a.member) >= n {
+		a.member = a.member[:n]
+		a.stateWanted = a.stateWanted[:n]
+		return
+	}
+	backing := make([]bool, 2*n)
+	a.member = backing[:n:n]
+	a.stateWanted = backing[n:]
+}
+
+// markMembers rebuilds the per-view membership byte tables.
+func (a *Algorithm) markMembers(v view.View) {
+	clear(a.member)
+	clear(a.stateWanted)
+	v.Members.ForEach(func(q proc.ID) {
+		if int(q) < len(a.member) {
+			a.member[q] = true
+			a.stateWanted[q] = true
+		}
+	})
 }
 
 // internFormed returns s's index in the lastFormed dictionary,
@@ -310,6 +355,7 @@ func (a *Algorithm) Reset(self proc.ID, initial view.View) {
 	a.inPrimary = true
 
 	a.cur = initial
+	a.curSize = initial.Size()
 	a.phase = phaseIdle
 	if cap(a.states) < maxID+1 {
 		a.states = make([]*StateMessage, maxID+1)
@@ -319,8 +365,12 @@ func (a *Algorithm) Reset(self proc.ID, initial view.View) {
 	}
 	a.statesGot = 0
 	a.attemptSession = view.Session{}
-	a.attempts = proc.Set{}
-	a.flushes = proc.Set{}
+	a.attempts.Reset(maxID + 1)
+	if a.variant == VariantDFLS {
+		a.flushes.Reset(maxID + 1)
+	}
+	a.sizeMemberTables(maxID + 1)
+	a.markMembers(initial)
 	a.earlyAttempts = a.earlyAttempts[:0]
 	a.earlyFlushes = a.earlyFlushes[:0]
 	a.out = clearMessages(a.out)
@@ -344,14 +394,18 @@ func clearMessages(out []core.Message) []core.Message {
 // the process broadcasts its state.
 func (a *Algorithm) ViewChange(v view.View) {
 	a.cur = v
+	a.curSize = v.Size()
 	a.inPrimary = false
 	a.phase = phaseExchange
 	for i := range a.states {
 		a.states[i] = nil
 	}
 	a.statesGot = 0
-	a.attempts = proc.Set{}
-	a.flushes = proc.Set{}
+	a.attempts.Reset(len(a.formedIdx))
+	// flushes is reset lazily by checkFormed when DFLS actually enters
+	// its flush round; other variants never touch it, so resetting it
+	// here would cost every non-DFLS instance its backing words.
+	a.markMembers(v)
 	a.earlyAttempts = a.earlyAttempts[:0]
 	a.earlyFlushes = a.earlyFlushes[:0]
 
@@ -411,6 +465,11 @@ func (a *Algorithm) Poll() []core.Message {
 func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 	// Group the lastFormed table by session: a process's formed
 	// sessions carry distinct numbers, so the number keys the group.
+	// Reused slots keep their who storage across broadcasts (reslice,
+	// not append of a fresh struct), so the grouping loop allocates
+	// only when the table holds more distinct sessions than ever
+	// before.
+	width := len(a.formedIdx)
 	groups := a.groupScratch[:0]
 	a.initial.Members.ForEach(func(q proc.ID) {
 		s := &a.formedDict[a.formedIdx[q]]
@@ -420,12 +479,20 @@ func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 				return
 			}
 		}
-		groups = append(groups, formedGroup{s: *s, who: proc.NewSet(q)})
+		if len(groups) < cap(groups) {
+			groups = groups[:len(groups)+1]
+		} else {
+			groups = append(groups, formedGroup{})
+		}
+		g := &groups[len(groups)-1]
+		g.s = *s
+		g.who.Reset(width)
+		g.who.Add(q)
 	})
 	a.groupScratch = groups
 	formed := make([]FormedEntry, len(groups))
-	for i, g := range groups {
-		formed[i] = FormedEntry{Session: g.s, Who: g.who}
+	for i := range groups {
+		formed[i] = FormedEntry{Session: groups[i].s, Who: groups[i].who.Freeze()}
 	}
 	amb := make([]view.Session, len(a.ambiguous))
 	copy(amb, a.ambiguous)
@@ -439,12 +506,16 @@ func (a *Algorithm) snapshotState(viewID int64) *StateMessage {
 }
 
 func (a *Algorithm) acceptState(from proc.ID, st *StateMessage) {
-	if !a.cur.Contains(from) || int(from) >= len(a.states) || a.states[from] != nil {
+	// stateWanted[from] is true exactly when from is a current-view
+	// member whose state has not arrived — the historic
+	// Contains+nil-check guard pair as one byte probe.
+	if int(from) >= len(a.stateWanted) || !a.stateWanted[from] {
 		return
 	}
+	a.stateWanted[from] = false
 	a.states[from] = st
 	a.statesGot++
-	if a.statesGot == a.cur.Size() {
+	if a.statesGot == a.curSize {
 		a.resolveAndDecide()
 	}
 }
@@ -541,7 +612,8 @@ func (a *Algorithm) resolveAndDecide() {
 	s := view.NewSession(a.sessionNumber, v)
 	a.ambiguous = append(a.ambiguous, s)
 	a.attemptSession = s
-	a.attempts = proc.NewSet(a.self)
+	a.attempts.Reset(len(a.formedIdx))
+	a.attempts.Add(a.self)
 	a.phase = phaseAttempt
 	a.out = append(a.out, &AttemptMessage{ViewID: v.ID, Session: s})
 
@@ -564,28 +636,31 @@ func (a *Algorithm) resolveAndDecide() {
 // never completed s. A process q that formed s would have raised
 // lastFormed(o) to at least s.Number for every o in s, so a single
 // entry below s.Number witnesses that q did not form it.
+//
+// The witness scan runs over q's Formed entries rather than the
+// members of s: an entry whose Who intersects s.Members is exactly a
+// lastFormed(o) report for some o in s (the entries partition q's
+// universe by session), so "∃o∈s: FormedFor(o).Number < s.Number"
+// becomes one word-parallel Disjoint per entry — O(entries × words)
+// per member instead of the O(|s|² × entries) member-pair scan, which
+// is what made LEARN the CPU hot spot at kilo-process widths.
 func (a *Algorithm) provablyUnformed(s view.Session) bool {
 	if !s.Members.SubsetOf(a.cur.Members) {
 		return false
 	}
 	unformed := true
-	s.Members.ForEach(func(q proc.ID) {
-		if !unformed {
-			return
-		}
+	s.Members.EachWhile(func(q proc.ID) bool {
 		st := a.states[q]
 		witnessed := false
-		s.Members.ForEach(func(o proc.ID) {
-			if witnessed {
-				return
-			}
-			if f, ok := st.FormedFor(o); ok && f.Number < s.Number {
+		for i := range st.Formed {
+			f := &st.Formed[i]
+			if f.Session.Number < s.Number && !f.Who.Disjoint(s.Members) {
 				witnessed = true
+				break
 			}
-		})
-		if !witnessed {
-			unformed = false
 		}
+		unformed = witnessed
+		return unformed
 	})
 	return unformed
 }
@@ -620,7 +695,14 @@ func (a *Algorithm) acceptFormed(s *view.Session) {
 }
 
 func (a *Algorithm) recordAttempt(from proc.ID, s view.Session) {
-	if !s.Equal(a.attemptSession) || !a.cur.Contains(from) {
+	// Deliver already matched the message's view; within one view every
+	// decided member derives the identical attempt session (the view's
+	// members, a number computed deterministically from the same state
+	// set), so the number comparison is the whole session Equal without
+	// the multi-word member compare the full Equal would pay per
+	// message at kilo-process widths.
+	if s.Number != a.attemptSession.Number ||
+		int(from) >= len(a.member) || !a.member[from] {
 		return
 	}
 	a.attempts.Add(from)
@@ -628,9 +710,12 @@ func (a *Algorithm) recordAttempt(from proc.ID, s view.Session) {
 }
 
 // checkFormed completes the formation once attempts arrived from every
-// member of the view.
+// member of the view. Every path into attempts admits only view members
+// (self on decide, the member-table guard in recordAttempt), so the
+// subset test "attempts ⊇ cur.Members" reduces to an O(1) count
+// comparison instead of a word scan per arriving attempt.
 func (a *Algorithm) checkFormed() {
-	if a.phase != phaseAttempt || !a.cur.Members.SubsetOf(a.attempts) {
+	if a.phase != phaseAttempt || a.attempts.Count() != a.curSize {
 		return
 	}
 	s := a.attemptSession
@@ -647,7 +732,8 @@ func (a *Algorithm) checkFormed() {
 		// DFLS defers deletion to a third, flush round in the newly
 		// formed primary.
 		a.phase = phaseFlush
-		a.flushes = proc.NewSet(a.self)
+		a.flushes.Reset(len(a.formedIdx))
+		a.flushes.Add(a.self)
 		a.out = append(a.out, &FlushMessage{ViewID: a.cur.ID, Session: s})
 		pending := a.earlyFlushes
 		a.earlyFlushes = nil
@@ -672,12 +758,14 @@ func (a *Algorithm) recordFlush(from proc.ID, s view.Session) {
 	if !s.Equal(a.lastPrimary) || !a.cur.Contains(from) {
 		return
 	}
-	a.flushes = a.flushes.With(from)
+	a.flushes.Add(from)
 	a.checkFlushed()
 }
 
 func (a *Algorithm) checkFlushed() {
-	if a.phase != phaseFlush || !a.cur.Members.SubsetOf(a.flushes) {
+	// Like checkFormed: flushes admits only view members, so the subset
+	// test is a count comparison.
+	if a.phase != phaseFlush || a.flushes.Count() != a.curSize {
 		return
 	}
 	a.ambiguous = a.ambiguous[:0]
