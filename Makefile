@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke loadgen-c1k
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 8
+BENCH_N ?= 9
 
 # Allowed ns/op growth percentage in bench-compare. Generous on purpose:
 # ns/op flakes with machine load, so the gate only catches hot-loop
@@ -16,9 +16,10 @@ TIME_TOLERANCE ?= 75
 # soak campaigns under the race detector at both the thesis scale and
 # the kilo-process 1024-proc scale (the properties the run-reuse
 # lifecycle, the wide-word set representation and the campaign engine
-# must never lose silently), and the live-path smoke: a real TCP
-# cluster under client load with an injected partition.
-check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke
+# must never lose silently), and the live-path smokes: a real TCP
+# cluster under client load with an injected partition, and the same
+# cluster serving a thousand concurrent pipelined connections.
+check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke loadgen-c1k
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -64,9 +65,11 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -baseline BENCH_$(BENCH_N).json -time-tolerance $(TIME_TOLERANCE)
 
 # alloc-guard pins the allocation-free hot paths: the steady-state
-# collect/deliver loop and the Driver.Reset lifecycle.
+# collect/deliver loop and the Driver.Reset lifecycle in the simulator,
+# and the pooled Send/arena-receive wire path in the live transport.
 alloc-guard:
 	$(GO) test -run 'AllocFree' -count 1 ./internal/sim/
+	$(GO) test -run 'SteadyStateAllocs' -count 1 ./internal/gcs/
 
 # set-model re-runs the proc.Set map-reference property tests (and the
 # fuzz seed corpus) under the race detector: every mutation and algebra
@@ -95,6 +98,13 @@ soak-short:
 # timeline. This is the live path's end-to-end gate.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -inproc 3 -conns 4 -duration 2s -partition 500ms -heal 1300ms -q -smoke
+
+# loadgen-c1k is the kilo-connection smoke: the same 3-node TCP cluster
+# serving 1000 concurrent pipelined client connections — the serving
+# path's scalability gate (descriptor limits, per-connection goroutines,
+# coalesced response flushing all under pressure at once).
+loadgen-c1k:
+	$(GO) run ./cmd/loadgen -inproc 3 -conns 1000 -pipeline 4 -duration 2s -q -smoke
 
 # soak-large is the safety campaign at the kilo-process scale under
 # the race detector: 1024 processes, one algorithm, checker on. The

@@ -42,6 +42,7 @@ import (
 )
 
 func main() {
+	raiseFDLimit()
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -53,6 +54,7 @@ type options struct {
 	connect   string
 	alg       string
 	conns     int
+	pipeline  int
 	rate      float64
 	duration  time.Duration
 	keys      int
@@ -76,7 +78,8 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.inproc, "inproc", 3, "size of the in-process TCP cluster (ignored with -connect)")
 	fs.StringVar(&o.connect, "connect", "", "comma-separated addresses of an external cluster (replicateddb -serve)")
 	fs.StringVar(&o.alg, "alg", "ykd", "primary component algorithm for the in-process cluster")
-	fs.IntVar(&o.conns, "conns", 4, "concurrent client connections (closed loop, one request in flight each)")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent client connections (scales into the thousands)")
+	fs.IntVar(&o.pipeline, "pipeline", 1, "requests kept in flight per connection (1 = classic closed loop)")
 	fs.Float64Var(&o.rate, "rate", 0, "target aggregate request rate in req/s (0 = unpaced)")
 	fs.DurationVar(&o.duration, "duration", 5*time.Second, "run length")
 	fs.IntVar(&o.keys, "keys", 64, "key-space size")
@@ -94,6 +97,9 @@ func parseOptions(args []string) (options, error) {
 	fs.BoolVar(&o.quiet, "q", false, "suppress progress lines")
 	if err := fs.Parse(args); err != nil {
 		return o, err
+	}
+	if o.pipeline < 1 {
+		return o, errors.New("-pipeline must be >= 1")
 	}
 	if o.connect != "" && o.partition > 0 {
 		return o, errors.New("-partition needs the in-process cluster (no transport hooks into an external one)")
@@ -327,6 +333,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	res, runErr := loadgen.Run(loadgen.Config{
 		Addrs:         addrs,
 		Conns:         o.conns,
+		Pipeline:      o.pipeline,
 		Rate:          o.rate,
 		Duration:      o.duration,
 		Keys:          o.keys,
@@ -341,11 +348,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	rep := &loadgen.Report{
-		Kind:    "loadgen",
-		Alg:     o.alg,
-		Conns:   o.conns,
-		RateRPS: o.rate,
-		Result:  res,
+		Kind:     "loadgen",
+		Alg:      o.alg,
+		Conns:    o.conns,
+		Pipeline: o.pipeline,
+		RateRPS:  o.rate,
+		Result:   res,
 	}
 	if cl != nil {
 		rep.Nodes = cl.n

@@ -1,0 +1,22 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft open-file limit to the hard limit, best
+// effort: a kilo-connection run costs two descriptors per connection
+// (client socket here, accepted socket in the in-proc servers), and
+// default soft limits of 1024 would otherwise cap -conns far below
+// what the harness is built to drive.
+func raiseFDLimit() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= lim.Max {
+		return
+	}
+	lim.Cur = lim.Max
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

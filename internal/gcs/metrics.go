@@ -33,21 +33,32 @@ func newNodeMetrics(reg *metrics.Registry) nodeMetrics {
 	}
 }
 
-// tcpMetrics instruments a TCPTransport's wire traffic.
+// tcpMetrics instruments a TCPTransport's wire traffic. The three
+// drop counters make saturation visible instead of silent: inboxDrops
+// is receive-side overflow of the frames channel, sendqDrops is
+// overflow of a peer's bounded send queue, deadDrops is frames
+// discarded because their peer was unreachable (dialing or backing
+// off).
 type tcpMetrics struct {
-	bytesIn   *metrics.Counter
-	bytesOut  *metrics.Counter
-	framesIn  *metrics.Counter
-	framesOut *metrics.Counter
-	redials   *metrics.Counter
+	bytesIn    *metrics.Counter
+	bytesOut   *metrics.Counter
+	framesIn   *metrics.Counter
+	framesOut  *metrics.Counter
+	redials    *metrics.Counter
+	inboxDrops *metrics.Counter
+	sendqDrops *metrics.Counter
+	deadDrops  *metrics.Counter
 }
 
 func newTCPMetrics(reg *metrics.Registry) tcpMetrics {
 	return tcpMetrics{
-		bytesIn:   reg.Counter("gcs_tcp_bytes_in_total", "bytes read from peers (headers included)"),
-		bytesOut:  reg.Counter("gcs_tcp_bytes_out_total", "bytes written to peers (headers included)"),
-		framesIn:  reg.Counter("gcs_tcp_frames_in_total", "frames read from peers (heartbeats included)"),
-		framesOut: reg.Counter("gcs_tcp_frames_out_total", "frames written to peers (heartbeats included)"),
-		redials:   reg.Counter("gcs_tcp_dials_total", "outgoing connections established"),
+		bytesIn:    reg.Counter("gcs_tcp_bytes_in_total", "bytes read from peers (headers included)"),
+		bytesOut:   reg.Counter("gcs_tcp_bytes_out_total", "bytes written to peers (headers included)"),
+		framesIn:   reg.Counter("gcs_tcp_frames_in_total", "frames read from peers (heartbeats included)"),
+		framesOut:  reg.Counter("gcs_tcp_frames_out_total", "frames written to peers (heartbeats included)"),
+		redials:    reg.Counter("gcs_tcp_dials_total", "outgoing connections established"),
+		inboxDrops: reg.Counter("gcs_tcp_inbox_drops_total", "inbound frames dropped on frames-channel overflow"),
+		sendqDrops: reg.Counter("gcs_tcp_sendq_drops_total", "outbound frames dropped on send-queue overflow"),
+		deadDrops:  reg.Counter("gcs_tcp_unreachable_drops_total", "outbound frames dropped because the peer was unreachable"),
 	}
 }

@@ -1,6 +1,7 @@
 package gcs
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,20 +31,31 @@ type TCPConfig struct {
 	// 3× HeartbeatEvery).
 	FailAfter time.Duration
 	// Metrics, when non-nil, receives wire-traffic instrumentation
-	// (bytes and frames in/out, dials).
+	// (bytes and frames in/out, dials, dropped frames).
 	Metrics *metrics.Registry
 }
 
-// TCPTransport implements Transport over a full TCP mesh: one outgoing
-// connection per peer, re-dialed lazily, with heartbeats doubling as
-// the failure detector. A Block list simulates network partitions for
-// demos and tests without touching the operating system.
+// TCPTransport implements Transport over a full TCP mesh. Each peer
+// gets a dedicated writer goroutine fed by a bounded frame queue:
+// Send enqueues and returns, the writer coalesces whatever is queued
+// into one write syscall per drain cycle, and dialing (with backoff)
+// happens on the writer, never on the caller — a dead peer costs its
+// own writer a dial timeout, not the sender or the heartbeat loop.
+// The inbound path reads through a buffered reader into grow-only
+// arena chunks, so a frame costs no per-frame heap allocation and the
+// heartbeat bookkeeping is batched to one mutex acquisition per drain.
+// A Block list simulates network partitions for demos and tests
+// without touching the operating system.
 type TCPTransport struct {
 	cfg      TCPConfig
 	listener net.Listener
 	frames   chan Frame
 	fd       chan proc.Set
 	m        tcpMetrics
+
+	// dialFn dials one peer; tests substitute slow or failing dialers.
+	// Set only before peers are registered (writers snapshot it).
+	dialFn func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 	mu        sync.Mutex
 	peers     map[proc.ID]string
@@ -55,8 +67,14 @@ type TCPTransport struct {
 	published bool
 	closed    bool
 
+	// bufPool recycles Send's frame-body copies between the callers
+	// and the writer goroutines; a channel free list stays warm under
+	// GC pressure, unlike sync.Pool.
+	bufPool chan []byte
+
 	stop     chan struct{}
-	done     chan struct{}
+	done     chan struct{} // heartbeat loop exit
+	writerWG sync.WaitGroup
 	stopOnce sync.Once
 }
 
@@ -65,6 +83,22 @@ var _ Transport = (*TCPTransport)(nil)
 // Frame wire format: 4-byte big-endian length, 4-byte sender ID, body.
 // A zero-length body is a heartbeat.
 const tcpHeader = 8
+
+// Wire-path tuning. sendQueueDepth bounds per-peer outbound buffering:
+// overflow drops frames (counted) rather than blocking the sender.
+// flushBufCap caps how many bytes one drain cycle coalesces into a
+// single write; readBufSize is the inbound bufio window; readChunk is
+// the arena granularity for received frame bodies (one allocation
+// amortized over ~readChunk bytes of delivered frames).
+const (
+	sendQueueDepth = 512
+	flushBufCap    = 64 << 10
+	readBufSize    = 64 << 10
+	readChunk      = 64 << 10
+	dialTimeout    = 200 * time.Millisecond
+	redialMin      = 10 * time.Millisecond
+	redialMax      = 300 * time.Millisecond
+)
 
 // NewTCPTransport starts listening on cfg.Addrs[cfg.ID] and begins
 // heartbeating all peers.
@@ -90,6 +124,7 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		cfg:      cfg,
 		listener: ln,
 		m:        newTCPMetrics(cfg.Metrics),
+		dialFn:   net.DialTimeout,
 		frames:   make(chan Frame, memChanDepth),
 		fd:       make(chan proc.Set, 1),
 		peers:    make(map[proc.ID]string, len(cfg.Addrs)),
@@ -97,6 +132,7 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		accepted: make(map[net.Conn]struct{}),
 		lastHB:   make(map[proc.ID]time.Time),
 		reach:    proc.NewSet(cfg.ID),
+		bufPool:  make(chan []byte, 1024),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -125,31 +161,53 @@ func (t *TCPTransport) SetPeers(addrs map[proc.ID]string) {
 // Addr returns the transport's bound listen address.
 func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
 
-// Send implements Transport.
+// grabBuf returns a recycled body buffer (or a fresh one).
+func (t *TCPTransport) grabBuf() []byte {
+	select {
+	case b := <-t.bufPool:
+		return b
+	default:
+		return make([]byte, 0, 256)
+	}
+}
+
+// releaseBuf returns a body buffer to the pool. nil (heartbeat) is a
+// no-op; a full pool lets the buffer fall to the garbage collector.
+func (t *TCPTransport) releaseBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	select {
+	case t.bufPool <- b[:0]:
+	default:
+	}
+}
+
+// Send implements Transport: copy the frame into a pooled buffer and
+// enqueue it on the peer's writer. It never blocks and never dials —
+// queue overflow and unreachable peers drop the frame (counted), like
+// UDP into a dead link.
 func (t *TCPTransport) Send(to proc.ID, data []byte) error {
 	t.mu.Lock()
 	if t.blocked.Contains(to) || t.closed {
 		t.mu.Unlock()
 		return nil
 	}
+	pc := t.peerConnLocked(to)
 	t.mu.Unlock()
-	pc, err := t.conn(to)
-	if err != nil {
-		return nil // unreachable: drop, like a dead link
+	if pc == nil {
+		return nil // unknown peer: drop, like a dead link
 	}
-	buf := make([]byte, tcpHeader+len(data))
-	binary.BigEndian.PutUint32(buf, uint32(len(data)))
-	binary.BigEndian.PutUint32(buf[4:], uint32(t.cfg.ID))
-	copy(buf[tcpHeader:], data)
-	pc.mu.Lock()
-	_, err = pc.c.Write(buf)
-	pc.mu.Unlock()
-	if err != nil {
-		t.dropConn(to)
-		return nil
+	var buf []byte
+	if len(data) > 0 {
+		buf = append(t.grabBuf(), data...)
 	}
-	t.m.bytesOut.Add(int64(len(buf)))
-	t.m.framesOut.Inc()
+	select {
+	case pc.queue <- buf:
+	default:
+		t.m.sendqDrops.Inc()
+		t.releaseBuf(buf)
+	}
 	return nil
 }
 
@@ -165,9 +223,11 @@ func (t *TCPTransport) Close() error {
 		close(t.stop)
 		t.mu.Lock()
 		t.closed = true
-		for id, pc := range t.conns {
-			_ = pc.c.Close()
-			delete(t.conns, id)
+		// Force-close every writer's live connection so writers
+		// blocked in a write return immediately; the writers
+		// themselves exit on t.stop.
+		for _, pc := range t.conns {
+			pc.closeConn()
 		}
 		// Accepted inbound connections must close too: leaving them
 		// open leaks their readLoop goroutines and keeps peers writing
@@ -178,6 +238,7 @@ func (t *TCPTransport) Close() error {
 		}
 		t.mu.Unlock()
 		_ = t.listener.Close()
+		t.writerWG.Wait()
 		<-t.done
 	})
 	return nil
@@ -191,52 +252,165 @@ func (t *TCPTransport) Block(peers ...proc.ID) {
 	t.mu.Unlock()
 }
 
-// peerConn serializes writes to one outgoing connection: the node
-// loop and the heartbeat loop both send, and interleaved partial
-// writes would corrupt the framing.
+// peerConn owns one peer's outbound path: a bounded frame queue
+// drained by a dedicated writer goroutine that dials (with backoff),
+// coalesces queued frames into one buffer, and writes them with a
+// single syscall per drain cycle.
 type peerConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	t  *TCPTransport
+	id proc.ID
+	// queue carries pooled frame bodies; nil means heartbeat.
+	queue chan []byte
+
+	connMu sync.Mutex
+	c      net.Conn // live connection, nil while down; Close() forces it shut
 }
 
-func (t *TCPTransport) conn(to proc.ID) (*peerConn, error) {
-	t.mu.Lock()
+// peerConnLocked returns (creating on first use) the writer for one
+// peer. Caller holds t.mu. Returns nil for unknown peers and after
+// Close.
+func (t *TCPTransport) peerConnLocked(to proc.ID) *peerConn {
 	if pc, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return pc, nil
+		return pc
 	}
+	if _, ok := t.peers[to]; !ok {
+		return nil
+	}
+	if t.closed {
+		return nil
+	}
+	pc := &peerConn{t: t, id: to, queue: make(chan []byte, sendQueueDepth)}
+	t.conns[to] = pc
+	t.writerWG.Add(1)
+	go pc.writeLoop()
+	return pc
+}
+
+// closeConn force-closes the writer's live connection, if any.
+func (pc *peerConn) closeConn() {
+	pc.connMu.Lock()
+	if pc.c != nil {
+		_ = pc.c.Close()
+	}
+	pc.connMu.Unlock()
+}
+
+// setConn publishes the writer's live connection for closeConn.
+func (pc *peerConn) setConn(c net.Conn) {
+	pc.connMu.Lock()
+	pc.c = c
+	pc.connMu.Unlock()
+}
+
+// appendWireFrame encodes one frame (header + body) onto dst.
+func appendWireFrame(dst []byte, from proc.ID, body []byte) []byte {
+	var hdr [tcpHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(from))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// writeLoop drains the peer's queue: block for the first frame,
+// opportunistically coalesce everything else already queued into one
+// reused flush buffer, make sure a connection exists (dialing with
+// backoff off the senders' path), and write the whole batch with one
+// syscall. Write errors drop the connection and the in-flight batch —
+// the transport promises datagram semantics, not delivery.
+func (pc *peerConn) writeLoop() {
+	t := pc.t
+	defer t.writerWG.Done()
+	var (
+		conn     net.Conn
+		flush    []byte
+		backoff  time.Duration
+		nextDial time.Time
+	)
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		var first []byte
+		select {
+		case <-t.stop:
+			return
+		case first = <-pc.queue:
+		}
+		flush = appendWireFrame(flush[:0], t.cfg.ID, first)
+		t.releaseBuf(first)
+		frames := int64(1)
+	drain:
+		for len(flush) < flushBufCap {
+			select {
+			case b := <-pc.queue:
+				flush = appendWireFrame(flush, t.cfg.ID, b)
+				t.releaseBuf(b)
+				frames++
+			default:
+				break drain
+			}
+		}
+		if conn == nil {
+			if time.Now().Before(nextDial) {
+				t.m.deadDrops.Add(frames)
+				continue
+			}
+			c, err := t.dialPeer(pc.id)
+			if err != nil {
+				if backoff == 0 {
+					backoff = redialMin
+				} else if backoff < redialMax {
+					backoff *= 2
+					if backoff > redialMax {
+						backoff = redialMax
+					}
+				}
+				nextDial = time.Now().Add(backoff)
+				t.m.deadDrops.Add(frames)
+				continue
+			}
+			conn = c
+			backoff = 0
+			pc.setConn(conn)
+			// Close may have swept past before setConn registered this
+			// connection; it would then never be force-closed, and a
+			// blocked write could stall shutdown. Re-check and bail.
+			select {
+			case <-t.stop:
+				return
+			default:
+			}
+		}
+		if _, err := conn.Write(flush); err != nil {
+			_ = conn.Close()
+			conn = nil
+			pc.setConn(nil)
+			backoff = redialMin
+			nextDial = time.Now().Add(backoff)
+			continue
+		}
+		t.m.bytesOut.Add(int64(len(flush)))
+		t.m.framesOut.Add(frames)
+	}
+}
+
+// dialPeer resolves the peer's current address and dials it.
+func (t *TCPTransport) dialPeer(to proc.ID) (net.Conn, error) {
+	t.mu.Lock()
 	addr, ok := t.peers[to]
+	dial := t.dialFn
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("gcs: unknown peer %v", to)
 	}
-	c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+	c, err := dial("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		_ = c.Close()
-		return nil, fmt.Errorf("gcs: transport closed")
-	}
-	if old, ok := t.conns[to]; ok {
-		_ = c.Close()
-		return old, nil
-	}
-	pc := &peerConn{c: c}
-	t.conns[to] = pc
 	t.m.redials.Inc()
-	return pc, nil
-}
-
-func (t *TCPTransport) dropConn(to proc.ID) {
-	t.mu.Lock()
-	if pc, ok := t.conns[to]; ok {
-		_ = pc.c.Close()
-		delete(t.conns, to)
-	}
-	t.mu.Unlock()
+	return c, nil
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -260,6 +434,13 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
+// hbMark is one batched heartbeat observation: the latest arrival
+// time per sender within a drain cycle.
+type hbMark struct {
+	from proc.ID
+	at   time.Time
+}
+
 func (t *TCPTransport) readLoop(conn net.Conn) {
 	t.mu.Lock()
 	if t.closed {
@@ -275,38 +456,111 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		delete(t.accepted, conn)
 		t.mu.Unlock()
 	}()
-	header := make([]byte, tcpHeader)
-	for {
-		if _, err := io.ReadFull(conn, header); err != nil {
+
+	br := bufio.NewReaderSize(conn, readBufSize)
+	var (
+		header   [tcpHeader]byte
+		chunk    []byte // grow-only arena for delivered frame bodies
+		bytesIn  int64
+		framesIn int64
+		hbs      []hbMark // reused; almost always one sender per conn
+	)
+	// flush applies one drain cycle's batched effects: wire counters
+	// and heartbeat freshness, one mutex acquisition for the lot. The
+	// block list is re-checked under the lock so a peer blocked
+	// mid-drain cannot resurrect its heartbeat.
+	flush := func() {
+		if bytesIn != 0 {
+			t.m.bytesIn.Add(bytesIn)
+			t.m.framesIn.Add(framesIn)
+			bytesIn, framesIn = 0, 0
+		}
+		if len(hbs) == 0 {
 			return
 		}
-		size := binary.BigEndian.Uint32(header)
+		t.mu.Lock()
+		for _, hb := range hbs {
+			if !t.blocked.Contains(hb.from) {
+				t.lastHB[hb.from] = hb.at
+			}
+		}
+		t.mu.Unlock()
+		hbs = hbs[:0]
+	}
+	defer flush()
+
+	blocked := t.blockedSnapshot()
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header[:])
 		from := proc.ID(binary.BigEndian.Uint32(header[4:]))
 		if size > 1<<22 {
 			return // corrupt stream
 		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(conn, body); err != nil {
-			return
+		var body []byte
+		if size > 0 {
+			if cap(chunk)-len(chunk) < int(size) {
+				n := readChunk
+				if int(size) > n {
+					n = int(size)
+				}
+				chunk = make([]byte, 0, n)
+			}
+			body = chunk[len(chunk) : len(chunk)+int(size)]
+			chunk = chunk[:len(chunk)+int(size)]
+			if _, err := io.ReadFull(br, body); err != nil {
+				return
+			}
 		}
-		t.m.bytesIn.Add(int64(tcpHeader + len(body)))
-		t.m.framesIn.Inc()
-		t.mu.Lock()
-		blocked := t.blocked.Contains(from)
-		if !blocked {
-			t.lastHB[from] = time.Now()
+		bytesIn += int64(tcpHeader) + int64(size)
+		framesIn++
+		if !blocked.Contains(from) {
+			// Record heartbeat freshness, overwriting this sender's
+			// earlier mark within the drain (latest wins).
+			now := time.Now()
+			found := false
+			for i := range hbs {
+				if hbs[i].from == from {
+					hbs[i].at = now
+					found = true
+					break
+				}
+			}
+			if !found {
+				hbs = append(hbs, hbMark{from: from, at: now})
+			}
+			if size > 0 {
+				select {
+				case t.frames <- Frame{From: from, Data: body}:
+				default:
+					// Inbox overflow: drop (counted) and rewind the
+					// arena — the body was the last carve.
+					t.m.inboxDrops.Inc()
+					chunk = chunk[:len(chunk)-int(size)]
+				}
+			}
 		}
-		t.mu.Unlock()
-		if blocked || size == 0 {
-			continue // blocked peer or bare heartbeat
-		}
-		select {
-		case t.frames <- Frame{From: from, Data: body}:
-		default: // inbox overflow: drop
+		// About to block on the next header: apply the batch and
+		// refresh the block-list snapshot for the next drain.
+		if br.Buffered() < tcpHeader {
+			flush()
+			blocked = t.blockedSnapshot()
 		}
 	}
 }
 
+func (t *TCPTransport) blockedSnapshot() proc.Set {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocked
+}
+
+// heartbeatLoop enqueues one heartbeat per peer per tick. Enqueueing
+// is non-blocking, and dialing dead peers happens on their writer
+// goroutines — one unreachable peer can no longer eat the heartbeat
+// budget of the healthy ones.
 func (t *TCPTransport) heartbeatLoop() {
 	defer close(t.done)
 	ticker := time.NewTicker(t.cfg.HeartbeatEvery)
@@ -317,14 +571,23 @@ func (t *TCPTransport) heartbeatLoop() {
 			return
 		case <-ticker.C:
 			t.mu.Lock()
-			ids := make([]proc.ID, 0, len(t.peers))
-			for id := range t.peers {
-				ids = append(ids, id)
+			if !t.closed {
+				for id := range t.peers {
+					if t.blocked.Contains(id) {
+						continue
+					}
+					pc := t.peerConnLocked(id)
+					if pc == nil {
+						continue
+					}
+					select {
+					case pc.queue <- nil:
+					default:
+						t.m.sendqDrops.Inc()
+					}
+				}
 			}
 			t.mu.Unlock()
-			for _, id := range ids {
-				_ = t.Send(id, nil)
-			}
 			t.refreshReachability()
 		}
 	}

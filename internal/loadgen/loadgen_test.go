@@ -11,7 +11,7 @@ import (
 	"dynvote/internal/ykd"
 )
 
-func eventually(t *testing.T, what string, cond func() bool) {
+func eventually(t testing.TB, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
@@ -24,7 +24,7 @@ func eventually(t *testing.T, what string, cond func() bool) {
 }
 
 // startCluster runs n replicas on a MemNetwork, each behind a Server.
-func startCluster(t *testing.T, n int, tl *gcs.Timeline) (*gcs.MemNetwork, []*register.Store, []string) {
+func startCluster(t testing.TB, n int, tl *gcs.Timeline) (*gcs.MemNetwork, []*register.Store, []string) {
 	t.Helper()
 	net := gcs.NewMemNetwork(n)
 	stores := make([]*register.Store, n)

@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynvote/internal/proc"
+)
+
+// TestPipelinedClientOrdering drives the windowed client API directly:
+// a batch of Sets flushed in one syscall, then a batch of Gets, with
+// every completion arriving in issue order and carrying the sequence
+// number, value and write flag of its own request.
+func TestPipelinedClientOrdering(t *testing.T) {
+	_, stores, addrs := startCluster(t, 3, nil)
+	cl, err := DialClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const window = 16
+	for i := 0; i < window; i++ {
+		if err := cl.StartSet(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.InFlight(); got != window {
+		t.Fatalf("InFlight = %d, want %d", got, window)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < window; i++ {
+		comp, err := cl.Next()
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if comp.Status != statusOK || !comp.Write {
+			t.Fatalf("set %d: status=%d write=%v", i, comp.Status, comp.Write)
+		}
+	}
+	if got := cl.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+
+	eventually(t, "writes applied locally", func() bool {
+		v, ok, _ := stores[0].Get(fmt.Sprintf("k%02d", window-1))
+		return ok && v == fmt.Sprintf("v%02d", window-1)
+	})
+
+	for i := 0; i < window; i++ {
+		if err := cl.StartGet(fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Next flushes on demand — no explicit Flush, same wire result.
+	for i := 0; i < window; i++ {
+		comp, err := cl.Next()
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if comp.Status != statusOK || comp.Write {
+			t.Fatalf("get %d: status=%d write=%v", i, comp.Status, comp.Write)
+		}
+		if want := fmt.Sprintf("v%02d", i); string(comp.Value) != want {
+			t.Fatalf("get %d = %q, want %q (responses out of order?)", i, comp.Value, want)
+		}
+	}
+}
+
+// TestPipelinedClientSeqMismatch: a response whose sequence number does
+// not match the head of the in-flight queue must surface as an error,
+// not as a silently misattributed completion.
+func TestPipelinedClientSeqMismatch(t *testing.T) {
+	_, _, addrs := startCluster(t, 1, nil)
+	cl, err := DialClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.StartGet("k"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the client's expectation: pretend the in-flight request
+	// carried a different sequence number.
+	cl.q[cl.head].seq += 7
+	if _, err := cl.Next(); err == nil {
+		t.Fatal("sequence mismatch not detected")
+	}
+}
+
+// TestPipelinedRunSurvivesPartition runs the full harness with a
+// pipeline window across a mid-run partition and heal. The sequence
+// check inside Client.Next makes any lost, duplicated or reordered
+// response a protocol error, so asserting zero errors plus the
+// accounting identity (every issued request counted exactly once)
+// verifies pipelining integrity across the membership churn.
+func TestPipelinedRunSurvivesPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run")
+	}
+	net, _, addrs := startCluster(t, 3, nil)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		_ = net.SetComponents(proc.NewSet(0, 1), proc.NewSet(2))
+		time.Sleep(300 * time.Millisecond)
+		_ = net.SetComponents(proc.NewSet(0, 1, 2))
+	}()
+	res, err := Run(Config{
+		Addrs:    addrs,
+		Conns:    3,
+		Pipeline: 8,
+		Duration: 1200 * time.Millisecond,
+		Keys:     16,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 — a pipelined response was lost, duplicated or a connection died", res.Errors)
+	}
+	if sum := res.OK + res.NotFound + res.NotPrimary + res.Errors; sum != res.Requests {
+		t.Errorf("accounting identity broken: %d issued != %d accounted", res.Requests, sum)
+	}
+}
+
+// BenchmarkLoadgenServer measures the server's per-request cost with a
+// pipelined client: window of 16, one flush per window, responses
+// coalesced by the server's flush-on-idle policy.
+func BenchmarkLoadgenServer(b *testing.B) {
+	_, _, addrs := startCluster(b, 1, nil)
+	cl, err := DialClient(addrs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Set("bench", "v"); err != nil {
+		b.Fatal(err)
+	}
+
+	const window = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := window
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		for i := 0; i < n; i++ {
+			var err error
+			if i%2 == 0 {
+				err = cl.StartGet("bench")
+			} else {
+				err = cl.StartSet("bench", "v")
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := cl.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done += n
+	}
+}

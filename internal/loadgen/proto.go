@@ -7,13 +7,22 @@
 // "the algorithms also run over TCP" into measured throughput, tail
 // latency and time-to-primary-recovery numbers — the live analogue of
 // the thesis's availability metric.
+//
+// Every request and response carries a client-assigned sequence
+// number, so clients can keep a window of requests in flight
+// (pipelining) and still verify that no response was lost, duplicated
+// or reordered: the server answers strictly in request order over the
+// FIFO connection, and the client checks each response's sequence
+// against the head of its in-flight queue.
 package loadgen
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"dynvote/internal/wire"
 )
@@ -36,12 +45,15 @@ const (
 // strings, so anything larger is a corrupt stream.
 const maxFrame = 1 << 20
 
+// frameHeader is the length prefix size.
+const frameHeader = 4
+
 // writeFrame sends one length-prefixed message.
 func writeFrame(w io.Writer, body []byte) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("loadgen: frame too large (%d bytes)", len(body))
 	}
-	var hdr [4]byte
+	var hdr [frameHeader]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -53,7 +65,7 @@ func writeFrame(w io.Writer, body []byte) error {
 // readFrame reads one length-prefixed message, reusing buf when it is
 // large enough.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -71,27 +83,74 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// frameBuffered reports whether a complete frame is already sitting in
+// the reader's buffer — the server's flush boundary: as long as whole
+// requests are buffered, keep answering into the write buffer; flush
+// only when the next read would block.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < frameHeader {
+		return false
+	}
+	hdr, err := br.Peek(frameHeader)
+	if err != nil {
+		return false
+	}
+	size := binary.BigEndian.Uint32(hdr)
+	return size <= maxFrame && br.Buffered() >= frameHeader+int(size)
+}
+
 // encodeGet builds a Get request body.
-func encodeGet(w *wire.Writer, key string) {
+func encodeGet(w *wire.Writer, seq uint64, key string) {
 	w.Reset()
+	w.Uvarint(seq)
 	w.Byte(opGet)
 	w.RawBytes([]byte(key))
 }
 
 // encodeSet builds a Set request body.
-func encodeSet(w *wire.Writer, key, value string) {
+func encodeSet(w *wire.Writer, seq uint64, key, value string) {
 	w.Reset()
+	w.Uvarint(seq)
 	w.Byte(opSet)
 	w.RawBytes([]byte(key))
 	w.RawBytes([]byte(value))
 }
 
-// Client is one synchronous connection to a Server — the closed-loop
-// unit: one outstanding request at a time.
+// pending is one in-flight request awaiting its response.
+type pending struct {
+	seq   uint64
+	start time.Time
+	write bool
+}
+
+// Completion is one answered request.
+type Completion struct {
+	Seq    uint64
+	Status byte
+	// Value aliases the client's read buffer — valid only until the
+	// next Next/Get/Set call.
+	Value []byte
+	// Start is when the request was issued; Write whether it was a
+	// Set. Both echo what the caller passed at issue time, so latency
+	// and op accounting need no side table.
+	Start time.Time
+	Write bool
+}
+
+// Client is one connection to a Server. It supports both synchronous
+// use (Get/Set: one outstanding request) and pipelined use
+// (StartGet/StartSet queue requests into a buffered writer, Flush
+// pushes them with one syscall, Next collects responses in order).
 type Client struct {
 	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
 	w    wire.Writer
 	rbuf []byte
+
+	nextSeq uint64
+	q       []pending // in-flight FIFO: q[head:]
+	head    int
 }
 
 // DialClient connects to a server.
@@ -100,55 +159,113 @@ func DialClient(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: c}, nil
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, 16<<10),
+		bw: bufio.NewWriterSize(c, 16<<10),
+	}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.c.Close() }
 
-// roundTrip sends the encoded request and decodes status + value.
-func (c *Client) roundTrip() (status byte, value string, err error) {
-	if err := writeFrame(c.c, c.w.Bytes()); err != nil {
-		return statusError, "", err
+// InFlight returns the number of requests issued but not yet answered.
+func (c *Client) InFlight() int { return len(c.q) - c.head }
+
+// push records one issued request.
+func (c *Client) push(write bool) {
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
 	}
-	body, err := readFrame(c.c, c.rbuf)
+	c.q = append(c.q, pending{seq: c.nextSeq, start: time.Now(), write: write})
+	c.nextSeq++
+}
+
+// StartGet queues a Get without waiting for the response. The request
+// sits in the client's write buffer until Flush (or buffer overflow)
+// pushes it to the wire.
+func (c *Client) StartGet(key string) error {
+	encodeGet(&c.w, c.nextSeq, key)
+	if err := writeFrame(c.bw, c.w.Bytes()); err != nil {
+		return err
+	}
+	c.push(false)
+	return nil
+}
+
+// StartSet queues a Set without waiting for the response.
+func (c *Client) StartSet(key, value string) error {
+	encodeSet(&c.w, c.nextSeq, key, value)
+	if err := writeFrame(c.bw, c.w.Bytes()); err != nil {
+		return err
+	}
+	c.push(true)
+	return nil
+}
+
+// Flush pushes every queued request to the wire in one syscall.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Next returns the next completion, flushing pending requests first.
+// Responses arrive in issue order; a sequence mismatch means the
+// stream lost, duplicated or reordered a response and the connection
+// is unusable.
+func (c *Client) Next() (Completion, error) {
+	if c.InFlight() == 0 {
+		return Completion{}, fmt.Errorf("loadgen: Next with no requests in flight")
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Completion{}, err
+	}
+	body, err := readFrame(c.br, c.rbuf)
 	if err != nil {
-		return statusError, "", err
+		return Completion{}, err
 	}
 	c.rbuf = body[:0]
 	r := wire.NewReader(body)
-	status = r.Byte()
-	value = string(r.RawBytes())
+	seq := r.Uvarint()
+	status := r.Byte()
+	value := r.RawBytesRef()
 	if r.Err() != nil {
-		return statusError, "", r.Err()
+		return Completion{}, r.Err()
 	}
-	return status, value, nil
+	want := c.q[c.head]
+	if seq != want.seq {
+		return Completion{}, fmt.Errorf("loadgen: response seq %d, want %d (lost or duplicated response)", seq, want.seq)
+	}
+	c.head++
+	return Completion{Seq: seq, Status: status, Value: value, Start: want.start, Write: want.write}, nil
 }
 
 // Get fetches a key. found is false when the key does not exist.
 func (c *Client) Get(key string) (value string, found bool, err error) {
-	encodeGet(&c.w, key)
-	status, v, err := c.roundTrip()
+	if err := c.StartGet(key); err != nil {
+		return "", false, err
+	}
+	comp, err := c.Next()
 	if err != nil {
 		return "", false, err
 	}
-	return v, status == statusOK, nil
+	return string(comp.Value), comp.Status == statusOK, nil
 }
 
 // Set writes key=value. notPrimary is true when the replica refused
 // the write because it is outside the primary component.
 func (c *Client) Set(key, value string) (notPrimary bool, err error) {
-	encodeSet(&c.w, key, value)
-	status, _, err := c.roundTrip()
+	if err := c.StartSet(key, value); err != nil {
+		return false, err
+	}
+	comp, err := c.Next()
 	if err != nil {
 		return false, err
 	}
-	switch status {
+	switch comp.Status {
 	case statusOK:
 		return false, nil
 	case statusNotPrimary:
 		return true, nil
 	default:
-		return false, fmt.Errorf("loadgen: set failed with status %d", status)
+		return false, fmt.Errorf("loadgen: set failed with status %d", comp.Status)
 	}
 }

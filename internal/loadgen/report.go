@@ -48,6 +48,7 @@ type Report struct {
 	Alg      string           `json:"alg"`
 	Nodes    int              `json:"nodes"`
 	Conns    int              `json:"conns"`
+	Pipeline int              `json:"pipeline,omitempty"` // per-conn request window; 0/1 = closed loop
 	RateRPS  float64          `json:"rate_rps,omitempty"` // target; 0 = unpaced
 	Result   Result           `json:"result"`
 	Failover *FailoverReport  `json:"failover,omitempty"`

@@ -17,8 +17,15 @@ type Config struct {
 	// across them, so every replica sees client traffic.
 	Addrs []string
 	// Conns is the number of concurrent client connections (default 4).
-	// Each connection is closed-loop: one outstanding request.
+	// Each connection is closed-loop: at most Pipeline outstanding
+	// requests.
 	Conns int
+	// Pipeline is the per-connection request window (default 1 = one
+	// request in flight, the classic closed loop). With Pipeline N a
+	// connection issues up to N requests back-to-back, flushes them in
+	// one syscall, and collects the N responses in order — sequence
+	// numbers verify none were lost or duplicated.
+	Pipeline int
 	// Rate is the target aggregate request rate in req/s across all
 	// connections. 0 means unpaced — every connection issues
 	// back-to-back requests.
@@ -69,6 +76,9 @@ func (c *Config) withDefaults() Config {
 	out := *c
 	if out.Conns <= 0 {
 		out.Conns = 4
+	}
+	if out.Pipeline <= 0 {
+		out.Pipeline = 1
 	}
 	if out.Duration <= 0 {
 		out.Duration = 5 * time.Second
@@ -234,9 +244,14 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// worker is one closed-loop connection: request, wait for the reply,
-// maybe sleep to hold the pace, repeat. A failed request costs the
-// connection — redial and keep going, like a real client would.
+// worker is one closed-loop connection driving a window of up to
+// c.Pipeline requests: fill the window (pacing each issue when a rate
+// is set), flush the batch in one syscall, collect every response,
+// repeat. A failed batch costs the connection and every request still
+// in flight on it — redial and keep going, like a real client would.
+// Every issued request is counted exactly once: as ok/notFound/
+// notPrimary when its response arrives, as an error when its
+// connection dies first.
 func worker(c *Config, rc runCounters, addr string, idx int, interval time.Duration, deadline time.Time, ext *extrema) {
 	rng := rand.New(rand.NewSource(c.Seed + int64(idx)*1664525 + 1013904223))
 	var cl *Client
@@ -245,6 +260,16 @@ func worker(c *Config, rc runCounters, addr string, idx int, interval time.Durat
 			_ = cl.Close()
 		}
 	}()
+	// fail charges every in-flight request on the dead connection as
+	// an error and redials.
+	fail := func() {
+		rc.errs.Add(int64(cl.InFlight()))
+		_ = cl.Close()
+		cl = dialUntil(addr, deadline)
+		if cl != nil {
+			rc.redials.Inc()
+		}
+	}
 	next := time.Now()
 	for time.Now().Before(deadline) {
 		if cl == nil {
@@ -253,63 +278,63 @@ func worker(c *Config, rc runCounters, addr string, idx int, interval time.Durat
 				return // server unreachable for the rest of the run
 			}
 		}
-		if interval > 0 {
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
-			}
-			next = next.Add(interval)
-			if now := time.Now(); next.Before(now) {
-				next = now // behind schedule: no debt, resume the pace from here
-			}
-		}
-
-		key := fmt.Sprintf("k%04d", rng.Intn(c.Keys))
-		t0 := time.Now()
-		var (
-			status byte
-			err    error
-		)
-		if rng.Float64() < c.WriteFraction {
-			notPrimary, serr := cl.Set(key, fmt.Sprintf("v%d.%d", idx, rng.Int63()))
-			err = serr
-			if err == nil {
-				if notPrimary {
-					status = statusNotPrimary
-				} else {
-					status = statusOK
+		// Fill the window.
+		issueErr := false
+		for cl.InFlight() < c.Pipeline && time.Now().Before(deadline) {
+			if interval > 0 {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+				if now := time.Now(); next.Before(now) {
+					next = now // behind schedule: no debt, resume the pace from here
 				}
 			}
-		} else {
-			_, found, gerr := cl.Get(key)
-			err = gerr
-			if err == nil {
-				if found {
-					status = statusOK
-				} else {
-					status = statusNotFound
-				}
+			key := fmt.Sprintf("k%04d", rng.Intn(c.Keys))
+			var err error
+			if rng.Float64() < c.WriteFraction {
+				err = cl.StartSet(key, fmt.Sprintf("v%d.%d", idx, rng.Int63()))
+			} else {
+				err = cl.StartGet(key)
+			}
+			rc.requests.Inc()
+			if err != nil {
+				rc.errs.Inc() // the request that failed to issue
+				issueErr = true
+				break
 			}
 		}
-		el := time.Since(t0)
-		rc.requests.Inc()
-		if err != nil {
-			rc.errs.Inc()
-			_ = cl.Close()
-			cl = dialUntil(addr, deadline)
-			if cl != nil {
-				rc.redials.Inc()
-			}
+		if issueErr {
+			fail()
 			continue
 		}
-		rc.latency.Observe(el.Seconds())
-		ext.observe(el)
-		switch status {
-		case statusOK:
-			rc.ok.Inc()
-		case statusNotFound:
-			rc.notFound.Inc()
-		case statusNotPrimary:
-			rc.notPrimary.Inc()
+		if cl.InFlight() == 0 {
+			continue // deadline hit before anything was issued
+		}
+		if err := cl.Flush(); err != nil {
+			fail()
+			continue
+		}
+		// Drain the window.
+		for cl.InFlight() > 0 {
+			comp, err := cl.Next()
+			if err != nil {
+				fail()
+				break
+			}
+			el := time.Since(comp.Start)
+			rc.latency.Observe(el.Seconds())
+			ext.observe(el)
+			switch comp.Status {
+			case statusOK:
+				rc.ok.Inc()
+			case statusNotFound:
+				rc.notFound.Inc()
+			case statusNotPrimary:
+				rc.notPrimary.Inc()
+			default:
+				rc.errs.Inc()
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -11,9 +12,16 @@ import (
 )
 
 // Server exposes one register.Store replica to load-generator clients
-// over TCP: accept, read length-prefixed requests, answer
-// synchronously. It is the "serve mode" client surface of
+// over TCP: accept, read length-prefixed requests, answer in request
+// order. It is the "serve mode" client surface of
 // examples/replicateddb and the target of cmd/loadgen.
+//
+// The per-connection handler is built for pipelined clients and
+// thousands of connections: requests are decoded through a buffered
+// reader, responses accumulate in a buffered writer, and the writer is
+// flushed only when no complete request remains buffered — so a
+// client pipelining a window of N requests costs the server roughly
+// one read and one write syscall per window, not per request.
 type Server struct {
 	store *register.Store
 	ln    net.Listener
@@ -92,20 +100,24 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
 	var (
 		rbuf []byte
 		w    wire.Writer
 	)
 	for {
-		body, err := readFrame(conn, rbuf)
+		body, err := readFrame(br, rbuf)
 		if err != nil {
 			return // client gone or corrupt stream
 		}
 		rbuf = body[:0]
 		r := wire.NewReader(body)
+		seq := r.Uvarint()
 		op := r.Byte()
-		key := string(r.RawBytes())
+		key := r.RawString()
 		w.Reset()
+		w.Uvarint(seq)
 		switch {
 		case r.Err() != nil:
 			return
@@ -119,7 +131,7 @@ func (s *Server) handle(conn net.Conn) {
 				w.RawBytes(nil)
 			}
 		case op == opSet:
-			value := string(r.RawBytes())
+			value := r.RawString()
 			if r.Err() != nil {
 				return
 			}
@@ -137,8 +149,15 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			return // unknown op: corrupt stream
 		}
-		if err := writeFrame(conn, w.Bytes()); err != nil {
+		if err := writeFrame(bw, w.Bytes()); err != nil {
 			return
+		}
+		// Flush only at the batch boundary: while complete requests
+		// remain buffered, keep coalescing responses.
+		if !frameBuffered(br) {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }

@@ -206,3 +206,27 @@ func (r *Reader) RawBytes() []byte {
 	r.off += int(n)
 	return out
 }
+
+// RawBytesRef reads a length-prefixed byte string without copying: the
+// result aliases the reader's buffer and is valid only while that
+// buffer is. The zero-allocation twin of RawBytes for hot decode
+// paths that consume the bytes before the buffer is reused.
+func (r *Reader) RawBytesRef() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+// RawString reads a length-prefixed byte string as a string in one
+// copy (RawBytes followed by a string conversion costs two).
+func (r *Reader) RawString() string {
+	return string(r.RawBytesRef())
+}
