@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke loadgen-c1k
+.PHONY: check fmt vet build test test-race bench bench-json bench-compare alloc-guard race-reset set-model soak-short soak-large loadgen-smoke loadgen-c1k farm-smoke
 
 # Sequence number for committed benchmark reports (BENCH_<n>.json).
-BENCH_N ?= 9
+BENCH_N ?= 10
 
 # Allowed ns/op growth percentage in bench-compare. Generous on purpose:
 # ns/op flakes with machine load, so the gate only catches hot-loop
@@ -18,8 +18,10 @@ TIME_TOLERANCE ?= 75
 # lifecycle, the wide-word set representation and the campaign engine
 # must never lose silently), and the live-path smokes: a real TCP
 # cluster under client load with an injected partition, and the same
-# cluster serving a thousand concurrent pipelined connections.
-check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke loadgen-c1k
+# cluster serving a thousand concurrent pipelined connections, and the
+# distributed sweep farm: a coordinator plus three local worker
+# processes merging a campaign over localhost TCP.
+check: fmt vet build test alloc-guard set-model race-reset soak-short soak-large loadgen-smoke loadgen-c1k farm-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -40,7 +42,7 @@ test:
 # detector: the metrics registry, the live group-communication stack,
 # the instrumented simulator, and the campaign engine.
 test-race:
-	$(GO) test -race ./internal/metrics/... ./internal/gcs/... ./internal/sim/... ./internal/trace/... ./internal/experiment/... ./internal/campaign/...
+	$(GO) test -race ./internal/metrics/... ./internal/gcs/... ./internal/sim/... ./internal/trace/... ./internal/experiment/... ./internal/campaign/... ./internal/farm/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -105,6 +107,18 @@ loadgen-smoke:
 # coalesced response flushing all under pressure at once).
 loadgen-c1k:
 	$(GO) run ./cmd/loadgen -inproc 3 -conns 1000 -pipeline 4 -duration 2s -q -smoke
+
+# farm-smoke is the distributed sweep farm's end-to-end gate: one
+# coordinator binary (built under the race detector) spawning three
+# local worker processes, sharding a sharded campaign over localhost
+# TCP and merging the chains back — the merge is bit-identical to a
+# local run by construction, and any protocol or requeue race trips
+# the detector in all four processes.
+farm-smoke:
+	$(GO) build -race -o /tmp/quorumcheck-farm-smoke ./cmd/quorumcheck
+	/tmp/quorumcheck-farm-smoke -changes 1500 -procs 24 -chains 6 -progress 0 \
+		-farm-listen 127.0.0.1:0 -farm-workers 3
+	rm -f /tmp/quorumcheck-farm-smoke
 
 # soak-large is the safety campaign at the kilo-process scale under
 # the race detector: 1024 processes, one algorithm, checker on. The

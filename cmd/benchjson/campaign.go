@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dynvote/internal/campaign"
+)
+
+// campaignBenchmarks folds a quorumcheck -json campaign report into
+// benchmark rows, so soak throughput — local or farmed — rides the same
+// BENCH_<n>.json files and compare gates as the simulator benchmarks.
+// Wall time per injected change maps onto ns/op; throughput, worker
+// count and farm requeue totals land in Extra. One row summarizes the
+// whole campaign, plus one row per algorithm for per-algorithm drift.
+func campaignBenchmarks(rep *campaign.Report) []Benchmark {
+	changes := 0
+	var assertions int64
+	for _, a := range rep.Algorithms {
+		changes += a.Changes
+		assertions += a.Assertions
+	}
+	mode := "local"
+	if strings.HasSuffix(rep.Tool, "-farm") {
+		mode = "farm"
+	}
+	name := fmt.Sprintf("Campaign/%s/procs=%d/chains=%d/workers=%d",
+		mode, rep.Procs, rep.Chains, rep.Workers)
+	nsPerChange := 0.0
+	if changes > 0 {
+		nsPerChange = rep.WallSeconds * 1e9 / float64(changes)
+	}
+	b := Benchmark{
+		Name:       name,
+		Package:    "cmd/quorumcheck",
+		Iterations: int64(changes),
+		NsPerOp:    nsPerChange,
+		Extra: map[string]float64{
+			"changes-per-sec": float64(changes) / rep.WallSeconds,
+			"workers":         float64(rep.Workers),
+			"chains":          float64(rep.Chains),
+			"assertions":      float64(assertions),
+		},
+	}
+	if rep.Requeued > 0 {
+		b.Extra["requeued"] = float64(rep.Requeued)
+	}
+	if rep.Aborted {
+		b.Extra["aborted"] = 1
+	}
+	out := []Benchmark{b}
+	for _, a := range rep.Algorithms {
+		if a.Changes == 0 {
+			continue
+		}
+		out = append(out, Benchmark{
+			Name:       name + "/" + a.Algorithm,
+			Package:    "cmd/quorumcheck",
+			Iterations: int64(a.Changes),
+			NsPerOp:    rep.WallSeconds * 1e9 / float64(a.Changes),
+			Extra: map[string]float64{
+				"availability-pct": a.AvailabilityPct,
+				"assertions":       float64(a.Assertions),
+			},
+		})
+	}
+	return out
+}
+
+// mergeCampaignReports reads each quorumcheck -json report file and
+// appends its benchmark rows to rep.
+func mergeCampaignReports(rep *Report, files []string) error {
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		crep, err := campaign.ReadReport(f)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !strings.HasPrefix(crep.Tool, "quorumcheck") {
+			return fmt.Errorf("%s: tool %q is not a quorumcheck campaign report", path, crep.Tool)
+		}
+		if crep.WallSeconds <= 0 || len(crep.Algorithms) == 0 {
+			return fmt.Errorf("%s: campaign report is empty", path)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, campaignBenchmarks(crep)...)
+	}
+	return nil
+}

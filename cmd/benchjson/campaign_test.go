@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynvote/internal/campaign"
+)
+
+func writeCampaignReport(t *testing.T, rep *campaign.Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleCampaignReport() *campaign.Report {
+	return &campaign.Report{
+		Tool: "quorumcheck-farm", Seed: 20000505,
+		Procs: 64, Changes: 20000, Segment: 12, Rate: 1.5,
+		Chains: 8, Workers: 3, WallSeconds: 10, Requeued: 2,
+		Algorithms: []campaign.AlgorithmReport{
+			{Algorithm: "ykd", Changes: 20016, Runs: 1668, Formed: 1500,
+				AvailabilityPct: 89.9, Assertions: 40000},
+			{Algorithm: "dfls", Changes: 20016, Runs: 1668, Formed: 1400,
+				AvailabilityPct: 83.9, Assertions: 41000},
+		},
+	}
+}
+
+func TestRunWithCampaignReport(t *testing.T) {
+	path := writeCampaignReport(t, sampleCampaignReport())
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3 (summary + 2 algorithms):\n%s",
+			len(rep.Benchmarks), out.String())
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Campaign/farm/procs=64/chains=8/workers=3" || b.Iterations != 40032 {
+		t.Errorf("summary row: %+v", b)
+	}
+	// 10 s over 40032 changes = 249800.3... ns per change.
+	if b.NsPerOp < 249000 || b.NsPerOp > 250500 {
+		t.Errorf("ns/op = %v, want ~249800 (wall per change)", b.NsPerOp)
+	}
+	if b.Extra["changes-per-sec"] != 4003.2 || b.Extra["workers"] != 3 || b.Extra["requeued"] != 2 {
+		t.Errorf("summary extras: %+v", b.Extra)
+	}
+	alg := rep.Benchmarks[1]
+	if !strings.HasSuffix(alg.Name, "/ykd") || alg.Extra["availability-pct"] != 89.9 {
+		t.Errorf("algorithm row: %+v", alg)
+	}
+}
+
+func TestCampaignReportRejectsWrongTool(t *testing.T) {
+	rep := sampleCampaignReport()
+	rep.Tool = "something-else"
+	path := writeCampaignReport(t, rep)
+	if err := run([]string{"-campaign", path}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Fatal("wrong-tool report must be rejected")
+	}
+}
+
+func TestCampaignLocalToolNames(t *testing.T) {
+	rep := sampleCampaignReport()
+	rep.Tool = "quorumcheck"
+	rep.Workers = 1
+	rows := campaignBenchmarks(rep)
+	if rows[0].Name != "Campaign/local/procs=64/chains=8/workers=1" {
+		t.Errorf("local campaign row name: %q", rows[0].Name)
+	}
+}

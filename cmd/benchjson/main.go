@@ -22,6 +22,14 @@
 //
 //	loadgen -inproc 3 -duration 5s -partition 2s -json run.json
 //	benchjson -loadgen run.json -o BENCH_6.json </dev/null
+//
+// -campaign does the same for quorumcheck -json campaign reports
+// (local or farmed): wall time per injected change as ns/op, with
+// throughput, worker count and farm requeues under Extra:
+//
+//	quorumcheck -changes 20000 -json camp.json
+//	quorumcheck -changes 20000 -farm-listen :0 -farm-workers 3 -json farm.json
+//	benchjson -campaign camp.json -campaign farm.json -o BENCH_10.json </dev/null
 package main
 
 import (
@@ -58,6 +66,8 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	timeFloor := fs.Float64("time-floor", 50000, "ns/op gate applies only to benchmarks whose baseline ns/op is at least this (micro-benchmarks at -benchtime 1x are timer noise)")
 	var loadgenFiles stringList
 	fs.Var(&loadgenFiles, "loadgen", "loadgen -json report file to fold in as pseudo-benchmarks (repeatable; with no bench output, pipe </dev/null)")
+	var campaignFiles stringList
+	fs.Var(&campaignFiles, "campaign", "quorumcheck -json campaign report to fold in as pseudo-benchmarks (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,8 +79,11 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	if err := mergeLoadgenReports(report, loadgenFiles); err != nil {
 		return err
 	}
+	if err := mergeCampaignReports(report, campaignFiles); err != nil {
+		return err
+	}
 	if len(report.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark result lines found on stdin (and no -loadgen reports)")
+		return fmt.Errorf("no benchmark result lines found on stdin (and no -loadgen or -campaign reports)")
 	}
 
 	if *out != "" {

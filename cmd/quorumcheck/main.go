@@ -13,12 +13,22 @@
 // worker count, and `-chains 1 -workers 1` replays the historical
 // serial soak exactly.
 //
+// The campaign also farms out across processes — and machines — via
+// internal/farm: `-farm-listen` turns this process into the
+// coordinator (add `-farm-workers N` to spawn N local worker
+// processes), `-farm-join` turns it into a worker for a coordinator
+// elsewhere. The merged result and report are bit-identical to a local
+// run. SIGINT drains gracefully in every mode: in-flight chains
+// finish, the partial report is written with `"aborted": true`.
+//
 // Examples:
 //
 //	quorumcheck -changes 10000                # quick soak, all algorithms
 //	quorumcheck -changes 1310000 -alg ykd     # the full thesis count
 //	quorumcheck -chains 1 -workers 1          # the historical serial soak
 //	quorumcheck -json campaign.json           # machine-readable report for CI
+//	quorumcheck -farm-listen :9131 -farm-workers 3   # coordinator + 3 local worker processes
+//	quorumcheck -farm-join host:9131                 # remote worker joining that farm
 package main
 
 import (
@@ -26,12 +36,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dynvote/internal/algset"
 	"dynvote/internal/campaign"
 	"dynvote/internal/core"
 	"dynvote/internal/experiment"
+	"dynvote/internal/farm"
 	"dynvote/internal/naive"
 )
 
@@ -56,9 +72,18 @@ func run(args []string) error {
 		chains  = fs.Int("chains", 8, "independent cascading chains per algorithm (1 replays the historical serial soak)")
 		workers = fs.Int("workers", 0, "concurrent workers scheduling chains (0 = GOMAXPROCS, 1 = sequential)")
 		jsonOut = fs.String("json", "", "write a machine-readable campaign report to this file")
+
+		farmListen    = fs.String("farm-listen", "", "run as farm coordinator: listen for workers on this TCP address (port 0 picks one)")
+		farmWorkers   = fs.Int("farm-workers", 0, "with -farm-listen: spawn this many local worker processes")
+		farmJoin      = fs.String("farm-join", "", "run as farm worker: join the coordinator at this TCP address")
+		farmStraggler = fs.Duration("farm-straggler", 30*time.Second, "re-issue a chain held longer than this once no fresh work remains (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *farmJoin != "" {
+		return farmWorkerMain(*farmJoin, *workers)
 	}
 
 	factories := algset.All()
@@ -93,6 +118,27 @@ func run(args []string) error {
 		AlgorithmDone: func(a campaign.AlgorithmResult) { passedLine(rep, a, *chains) },
 	}
 
+	if *farmListen != "" {
+		return farmCoordinatorMain(rep, cfg, farmOptions{
+			listen:    *farmListen,
+			spawn:     *farmWorkers,
+			capacity:  *workers,
+			straggler: *farmStraggler,
+			every:     *every,
+			jsonOut:   *jsonOut,
+		})
+	}
+
+	// SIGINT drains the local campaign gracefully: in-flight chains
+	// finish their current run, the merged partial report is marked
+	// aborted.
+	cfg.Abort = new(atomic.Bool)
+	stopSignals := onInterrupt(func() {
+		rep.Printf("interrupt: draining — finishing in-flight chains")
+		cfg.Abort.Store(true)
+	})
+	defer stopSignals()
+
 	res, err := campaign.Run(cfg)
 
 	if *jsonOut != "" {
@@ -107,8 +153,155 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if res.Aborted {
+		fmt.Println("\nABORTED: campaign drained early; the report covers the completed prefix only.")
+		return nil
+	}
 	fmt.Println("\nALL CLEAR: no inconsistency, ever — at most one primary component at all times.")
 	return nil
+}
+
+// onInterrupt runs f once on the first SIGINT/SIGTERM; the returned
+// stop function detaches the handler (later signals kill the process
+// normally, so a second ^C always works).
+func onInterrupt(f func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-ch; ok {
+			signal.Stop(ch)
+			f()
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// farmWorkerMain is the `-farm-join` mode: execute chains for a remote
+// coordinator until the campaign ends or SIGINT drains this worker.
+func farmWorkerMain(addr string, capacity int) error {
+	w, err := farm.Join(farm.WorkerConfig{Addr: addr, Capacity: capacity})
+	if err != nil {
+		return err
+	}
+	stopSignals := onInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "quorumcheck: interrupt: draining worker — finishing assigned chains")
+		w.Drain()
+	})
+	defer stopSignals()
+	return w.Serve()
+}
+
+type farmOptions struct {
+	listen    string
+	spawn     int
+	capacity  int
+	straggler time.Duration
+	every     time.Duration
+	jsonOut   string
+}
+
+// farmCoordinatorMain is the `-farm-listen` mode: own the work queue
+// and the merge, optionally spawning local worker processes, and
+// produce the same report a local run would.
+func farmCoordinatorMain(rep *campaign.Reporter, cfg campaign.Config, opt farmOptions) error {
+	// Per-chain progress happens on the workers (whose output is not
+	// ours); the coordinator reports farm-level progress instead.
+	cfg.Progress = nil
+	cfg.ProgressEvery = 0
+
+	c, err := farm.NewCoordinator(farm.CoordinatorConfig{
+		Campaign:       cfg,
+		Listen:         opt.listen,
+		StragglerAfter: opt.straggler,
+		ProgressEvery:  opt.every,
+		Progress: func(u farm.Update) {
+			rep.Printf("%-16s %4d/%d chains merged, %d requeued, %d workers (%.0fs)",
+				"farm", u.Done, u.Total, u.Requeued, u.Workers, u.Elapsed.Seconds())
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rep.Printf("farm coordinator listening on %s", c.Addr())
+
+	procs, err := spawnLocalWorkers(opt.spawn, c.Addr(), opt.capacity)
+	if err != nil {
+		c.Close()
+		return err
+	}
+
+	stopSignals := onInterrupt(func() {
+		rep.Printf("interrupt: draining farm — workers finish in-flight chains")
+		c.Drain()
+	})
+	defer stopSignals()
+
+	res, ferr := c.Run()
+	_, peak := c.Workers()
+	for _, p := range procs {
+		// Workers exit cleanly when the coordinator closes their
+		// connection; a worker that died early already had its chains
+		// requeued, so its exit status is informational.
+		if werr := p.Wait(); werr != nil {
+			fmt.Fprintln(os.Stderr, "quorumcheck: worker process:", werr)
+		}
+	}
+
+	if opt.jsonOut != "" {
+		report := campaign.NewReport("quorumcheck-farm", cfg, res, peak, ferr)
+		if werr := report.WriteFile(opt.jsonOut); werr != nil {
+			if ferr == nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "quorumcheck:", werr)
+		}
+	}
+	if ferr != nil {
+		return ferr
+	}
+	if res.Aborted {
+		fmt.Println("\nABORTED: farm drained early; the report covers the completed prefix only.")
+		return nil
+	}
+	// Per-algorithm PASSED lines already printed via cfg.AlgorithmDone,
+	// which the coordinator fires exactly like a local campaign.
+	fmt.Println("\nALL CLEAR: no inconsistency, ever — at most one primary component at all times.")
+	return nil
+}
+
+// spawnLocalWorkers launches n copies of this binary in -farm-join
+// mode, pointed at addr. Their output goes to stderr so the
+// coordinator's report stream stays clean.
+func spawnLocalWorkers(n int, addr string, capacity int) ([]*exec.Cmd, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("cannot locate own binary to spawn workers: %w", err)
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		args := []string{"-farm-join", addr}
+		if capacity > 0 {
+			args = append(args, "-workers", strconv.Itoa(capacity))
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+			return nil, fmt.Errorf("spawn worker: %w", err)
+		}
+		procs = append(procs, cmd)
+	}
+	return procs, nil
 }
 
 // progressLine renders one chain's progress. The single-chain format is

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"dynvote/internal/algset"
 	"dynvote/internal/campaign"
 	"dynvote/internal/core"
+	"dynvote/internal/farm"
 )
 
 func TestRunQuickSoak(t *testing.T) {
@@ -150,9 +152,66 @@ func TestJSONReport(t *testing.T) {
 	if rerr != nil {
 		t.Fatal(rerr)
 	}
-	for _, want := range []string{`"tool": "quorumcheck"`, `"violation"`, `naive-no-agreement`} {
+	for _, want := range []string{`"tool": "quorumcheck"`, `"violation"`, `naive-no-agreement`,
+		`"wall_seconds"`, `"requeued"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON report missing %s:\n%.400s", want, data)
+		}
+	}
+}
+
+// TestRunFarmCoordinator drives the -farm-listen CLI path end to end
+// with an in-process worker (the -farm-workers subprocess spawn needs
+// a real binary, which `go test` is not): the report must come out in
+// the same shape as a local run, tagged with the farm tool name.
+func TestRunFarmCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm soak in -short mode")
+	}
+	// Reserve a port, free it, and hand it to the CLI — run() prints
+	// the bound address to stdout, which this test cannot read.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	path := t.TempDir() + "/farm.json"
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-changes", "200", "-procs", "8", "-alg", "ykd",
+			"-chains", "4", "-progress", "0", "-farm-listen", addr, "-json", path})
+	}()
+
+	// Join as a worker once the coordinator is up.
+	var w *farm.Worker
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w, err = farm.Join(farm.WorkerConfig{Addr: addr, Capacity: 2})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never reached the coordinator: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if serr := w.Serve(); serr != nil {
+		t.Errorf("worker serve: %v", serr)
+	}
+	if rerr := <-done; rerr != nil {
+		t.Fatalf("farm coordinator run: %v", rerr)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tool": "quorumcheck-farm"`, `"workers": 1`,
+		`"wall_seconds"`, `"requeued"`, `"algorithm": "ykd"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("farm JSON report missing %s:\n%.400s", want, data)
 		}
 	}
 }

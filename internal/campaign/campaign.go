@@ -69,6 +69,12 @@ type Config struct {
 	// one worker and one chain this reproduces the serial soak's
 	// "progress…, PASSED" per-algorithm output ordering.
 	AlgorithmDone func(AlgorithmResult)
+	// Abort, when non-nil and set, drains the campaign cooperatively:
+	// every chain stops at its next run boundary without error, and the
+	// merged Result carries the partial statistics with Aborted set.
+	// This is the SIGINT path — distinct from the internal
+	// violation-triggered abort, which surfaces as an error.
+	Abort *atomic.Bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,8 +99,13 @@ type ProgressUpdate struct {
 	AlgorithmStart time.Time     // when the algorithm's first chain started
 }
 
-// ChainStats is one chain's contribution to the campaign: everything
-// deterministic a chain produces. Timing lives at the algorithm level.
+// ChainStats is one chain's contribution to the campaign. Changes,
+// Runs, Formed and Assertions are deterministic — bit-identical for a
+// given (seed, chains) at any worker count, local or farmed — and are
+// what golden fingerprints pin. Wall and Requeued are execution
+// accounting: wall-clock time varies run to run, and Requeued counts
+// how many times a farm coordinator re-issued the chain after worker
+// loss or a straggler deadline (always zero in local runs).
 type ChainStats struct {
 	Algorithm  string
 	Chain      int
@@ -102,6 +113,8 @@ type ChainStats struct {
 	Runs       int
 	Formed     int // runs that ended with a primary component
 	Assertions int64
+	Wall       time.Duration
+	Requeued   int
 }
 
 // AlgorithmResult merges one algorithm's chains in chain order.
@@ -133,7 +146,11 @@ type Result struct {
 	// (algorithm, chain) order. The campaign aborts at the first
 	// violation, so later chains may have stopped early.
 	Violations []*ChainError
-	Elapsed    time.Duration
+	// Aborted marks a campaign cut short by an external drain (SIGINT,
+	// farm coordinator shutdown) rather than by a violation: the merged
+	// statistics are a clean partial prefix, not a full budget.
+	Aborted bool
+	Elapsed time.Duration
 }
 
 // ChainError wraps a safety violation (or driver failure) with the
@@ -186,9 +203,14 @@ func chainBudget(total, chains, chain int) int {
 	return budget
 }
 
-// errAborted marks chains cut short by another chain's violation; it
-// never surfaces as a campaign error.
-var errAborted = fmt.Errorf("campaign: aborted by a violation in another chain")
+// ErrAborted marks chains cut short cooperatively — by another chain's
+// violation or an external drain; it never surfaces as a campaign
+// error. The farm worker reports it to distinguish an aborted chain
+// from a completed one.
+var ErrAborted = fmt.Errorf("campaign: chain aborted")
+
+// errAborted is the historical internal name.
+var errAborted = ErrAborted
 
 // Run executes the campaign: len(Factories) × Chains independent
 // cascading chains, scheduled across the experiment worker pool
@@ -248,11 +270,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 
-	res := &Result{Elapsed: time.Since(start)}
-	for alg := 0; alg < algs; alg++ {
+	return AssembleResult(cfg, stats, errs, time.Since(start))
+}
+
+// AssembleResult merges per-job chain statistics and errors into a
+// campaign Result exactly as Run does: job index = alg*Chains+chain,
+// algorithms merged in chain order, violations collected in
+// (algorithm, chain) order, the first violation returned as the error.
+// The farm coordinator feeds remotely executed chains through this
+// same merge, which is what makes a farmed campaign's merged report
+// bit-identical to a local run's at any worker count.
+func AssembleResult(cfg Config, stats []ChainStats, errs []error, elapsed time.Duration) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Elapsed: elapsed}
+	if cfg.Abort != nil && cfg.Abort.Load() {
+		res.Aborted = true
+	}
+	for alg := 0; alg < len(cfg.Factories); alg++ {
 		a := mergeAlgorithm(cfg.Factories[alg].Name, stats[alg*cfg.Chains:(alg+1)*cfg.Chains])
-		if ns := algStart[alg].Load(); ns != 0 {
-			a.Elapsed = res.Elapsed // upper bound; refined by AlgorithmDone consumers
+		if a.Runs > 0 {
+			a.Elapsed = elapsed // upper bound; refined by AlgorithmDone consumers
 		}
 		res.Algorithms = append(res.Algorithms, a)
 	}
@@ -271,6 +308,34 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, first
+}
+
+// RunChain executes a single (algorithm, chain) cell of the campaign
+// in isolation, deterministically: the chain draws the same random
+// stream it would inside Run, so the returned ChainStats are
+// bit-identical to that chain's slot in a local campaign. abort, when
+// non-nil, stops the chain cooperatively at its next run boundary
+// (returning ErrAborted); the farm worker wires it to the
+// coordinator's abort frame. Partial statistics accumulated before an
+// abort or violation are returned alongside the error.
+func RunChain(cfg Config, alg, chain int, abort *atomic.Bool) (ChainStats, error) {
+	cfg = cfg.withDefaults()
+	if abort == nil {
+		abort = new(atomic.Bool)
+	}
+	var (
+		stat   ChainStats
+		hookMu sync.Mutex
+	)
+	err := runChain(&cfg, cfg.Factories[alg], chain, &stat, abort, &hookMu, time.Now())
+	return stat, err
+}
+
+// AssembleAlgorithm folds one algorithm's chain stats in chain order —
+// the merge Run applies per algorithm, exported so the farm
+// coordinator's AlgorithmDone hook carries the identical shape.
+func AssembleAlgorithm(name string, chains []ChainStats) AlgorithmResult {
+	return mergeAlgorithm(name, chains)
 }
 
 // mergeAlgorithm folds one algorithm's chain stats, in chain order.
@@ -314,8 +379,9 @@ func runChain(cfg *Config, f core.Factory, chain int, stat *ChainStats,
 
 	start := time.Now()
 	lastReport := start
+	defer func() { stat.Wall = time.Since(start) }()
 	for stat.Changes < budget {
-		if abort.Load() {
+		if abort.Load() || (cfg.Abort != nil && cfg.Abort.Load()) {
 			return errAborted
 		}
 		d.Heal()

@@ -18,6 +18,9 @@ func stripTiming(res *Result) *Result {
 	res.Elapsed = 0
 	for i := range res.Algorithms {
 		res.Algorithms[i].Elapsed = 0
+		for j := range res.Algorithms[i].Chains {
+			res.Algorithms[i].Chains[j].Wall = 0
+		}
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 )
@@ -23,6 +24,13 @@ type Report struct {
 	Chains      int       `json:"chains"`
 	Workers     int       `json:"workers"`
 	WallSeconds float64   `json:"wall_seconds"`
+	// Requeued totals the chain re-issues across the whole campaign —
+	// farm retries after worker loss or straggler deadlines. Always 0
+	// for local runs.
+	Requeued int `json:"requeued"`
+	// Aborted marks a campaign drained early (SIGINT, coordinator
+	// shutdown): the statistics are a clean partial prefix.
+	Aborted bool `json:"aborted,omitempty"`
 	// Violation carries the first chain failure, trace dump included;
 	// empty on a clean campaign.
 	Violation  string            `json:"violation,omitempty"`
@@ -40,13 +48,17 @@ type AlgorithmReport struct {
 	Chains          []ChainReport `json:"chains"`
 }
 
-// ChainReport is one chain's deterministic contribution.
+// ChainReport is one chain's contribution: the deterministic counters
+// plus execution accounting (wall time, farm requeues) so CI artifacts
+// show where a campaign's time went and which chains were retried.
 type ChainReport struct {
-	Chain      int   `json:"chain"`
-	Changes    int   `json:"changes"`
-	Runs       int   `json:"runs"`
-	Formed     int   `json:"formed"`
-	Assertions int64 `json:"assertions"`
+	Chain       int     `json:"chain"`
+	Changes     int     `json:"changes"`
+	Runs        int     `json:"runs"`
+	Formed      int     `json:"formed"`
+	Assertions  int64   `json:"assertions"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Requeued    int     `json:"requeued"`
 }
 
 // NewReport flattens a campaign result. violation may be nil.
@@ -67,6 +79,7 @@ func NewReport(tool string, cfg Config, res *Result, workers int, violation erro
 	if violation != nil {
 		r.Violation = violation.Error()
 	}
+	r.Aborted = res.Aborted
 	for _, a := range res.Algorithms {
 		ar := AlgorithmReport{
 			Algorithm:       a.Algorithm,
@@ -80,11 +93,24 @@ func NewReport(tool string, cfg Config, res *Result, workers int, violation erro
 			ar.Chains = append(ar.Chains, ChainReport{
 				Chain: c.Chain, Changes: c.Changes, Runs: c.Runs,
 				Formed: c.Formed, Assertions: c.Assertions,
+				WallSeconds: c.Wall.Seconds(), Requeued: c.Requeued,
 			})
+			r.Requeued += c.Requeued
 		}
 		r.Algorithms = append(r.Algorithms, ar)
 	}
 	return r
+}
+
+// ReadReport decodes a report previously written by WriteFile, for
+// consumers like benchjson that fold campaign outcomes into committed
+// benchmark files.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("campaign: decode report: %w", err)
+	}
+	return &rep, nil
 }
 
 // WriteFile writes the report as indented JSON.

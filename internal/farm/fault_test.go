@@ -1,0 +1,346 @@
+package farm
+
+// Frame-level fault injection, modeled on internal/gcs's TCP recovery
+// tests: truncated frames, oversize frames, junk handshakes, and
+// mid-campaign worker reconnects. In every case the farm must shed the
+// bad connection, requeue its chains, and still merge a result
+// bit-identical to a local run.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dynvote/internal/campaign"
+	"dynvote/internal/experiment"
+	"dynvote/internal/wire"
+)
+
+// rawConn speaks the farm protocol by hand, for saboteur workers.
+type rawConn struct {
+	t  *testing.T
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial %s: %v", addr, err)
+	}
+	return &rawConn{t: t, c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+func (r *rawConn) Close() error { return r.c.Close() }
+
+func (r *rawConn) hello(capacity int) {
+	r.t.Helper()
+	var enc wire.Writer
+	encodeHello(&enc, capacity)
+	if err := wire.WriteFrame(r.bw, enc.Bytes(), maxFrame); err != nil {
+		r.t.Fatal(err)
+	}
+	if err := r.bw.Flush(); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// readFrame reads one frame body with a test deadline.
+func (r *rawConn) readFrame() []byte {
+	r.t.Helper()
+	_ = r.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	body, err := wire.ReadFrame(r.br, nil, maxFrame)
+	if err != nil {
+		r.t.Fatalf("raw read frame: %v", err)
+	}
+	return body
+}
+
+// expectClosed asserts the coordinator hung up on this connection.
+func (r *rawConn) expectClosed() {
+	r.t.Helper()
+	_ = r.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		if _, err := wire.ReadFrame(r.br, nil, maxFrame); err != nil {
+			if errors_IsTimeout(err) {
+				r.t.Error("coordinator kept a bad connection open")
+			}
+			return
+		}
+	}
+}
+
+func errors_IsTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// dialBlackHole joins the farm as a worker that accepts assignments and
+// never executes them — the straggler the hedge exists for.
+func dialBlackHole(t *testing.T, addr string, capacity int) io.Closer {
+	t.Helper()
+	r := dialRaw(t, addr)
+	r.hello(capacity)
+	if body := r.readFrame(); len(body) == 0 || body[0] != msgConfig {
+		t.Fatalf("black hole: expected config frame, got %v", body)
+	}
+	return r
+}
+
+// faultConfig is a small campaign the fault tests can run repeatedly.
+func faultConfig(t *testing.T) campaign.Config {
+	cfg := goldenConfig(t)
+	cfg.Changes = 60
+	cfg.Chains = 6
+	return cfg
+}
+
+// TestFarmTruncatedResultFrame: a worker whose result frame is cut off
+// mid-body gets dropped; its chains requeue and merge exactly once via
+// a healthy worker.
+func TestFarmTruncatedResultFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm fault soak in -short mode")
+	}
+	cfg := faultConfig(t)
+	local, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(CoordinatorConfig{Campaign: cfg, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab := dialRaw(t, c.Addr())
+	sab.hello(2)
+	if body := sab.readFrame(); body[0] != msgConfig {
+		t.Fatalf("expected config, got type %d", body[0])
+	}
+	if body := sab.readFrame(); body[0] != msgAssign {
+		t.Fatalf("expected assign, got type %d", body[0])
+	}
+	// A result frame whose header promises 100 bytes but delivers 3.
+	var hdr [wire.FrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := sab.c.Write(append(hdr[:], msgResult, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	_ = sab.Close()
+
+	wait := startWorker(t, c.Addr(), WorkerConfig{Capacity: 2})
+	res, ferr := c.Run()
+	wait()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if got, want := fingerprint(res), fingerprint(local); got != want {
+		t.Errorf("merge after truncated frame differs from local run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	requeued := 0
+	for _, a := range res.Algorithms {
+		for _, cs := range a.Chains {
+			requeued += cs.Requeued
+		}
+	}
+	if requeued == 0 {
+		t.Error("saboteur held assignments, yet nothing was requeued")
+	}
+}
+
+// TestFarmOversizeFrameDropsWorker: a frame header exceeding the frame
+// cap drops the connection before any allocation; the campaign
+// completes on the healthy worker.
+func TestFarmOversizeFrameDropsWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm fault soak in -short mode")
+	}
+	cfg := faultConfig(t)
+	local, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(CoordinatorConfig{Campaign: cfg, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab := dialRaw(t, c.Addr())
+	sab.hello(1)
+	if body := sab.readFrame(); body[0] != msgConfig {
+		t.Fatalf("expected config, got type %d", body[0])
+	}
+	var hdr [wire.FrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := sab.c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	sab.expectClosed()
+	_ = sab.Close()
+
+	wait := startWorker(t, c.Addr(), WorkerConfig{Capacity: 2})
+	res, ferr := c.Run()
+	wait()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if got, want := fingerprint(res), fingerprint(local); got != want {
+		t.Errorf("merge after oversize frame differs from local run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFarmRejectsJunkHello: a connection that opens with garbage (wrong
+// type, wrong protocol version) is hung up on and never assigned work.
+func TestFarmRejectsJunkHello(t *testing.T) {
+	cfg := faultConfig(t)
+	c, err := NewCoordinator(CoordinatorConfig{Campaign: cfg, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Wrong frame type.
+	junk := dialRaw(t, c.Addr())
+	if err := wire.WriteFrame(junk.bw, []byte{0xFF, 1, 2, 3}, maxFrame); err != nil {
+		t.Fatal(err)
+	}
+	_ = junk.bw.Flush()
+	junk.expectClosed()
+	_ = junk.Close()
+
+	// Wrong protocol version inside a well-formed hello.
+	vmm := dialRaw(t, c.Addr())
+	var enc wire.Writer
+	enc.Byte(msgHello)
+	enc.Uvarint(protoVersion + 7)
+	enc.Uvarint(4)
+	if err := wire.WriteFrame(vmm.bw, enc.Bytes(), maxFrame); err != nil {
+		t.Fatal(err)
+	}
+	_ = vmm.bw.Flush()
+	vmm.expectClosed()
+	_ = vmm.Close()
+
+	if cur, _ := c.Workers(); cur != 0 {
+		t.Errorf("%d junk connections registered as workers", cur)
+	}
+}
+
+// TestFarmWorkerReconnectMidStream: a worker crashing mid-campaign and
+// a replacement joining afterwards (same process, fresh connection,
+// fresh config frame) must hand back a bit-identical merge.
+func TestFarmWorkerReconnectMidStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm fault soak in -short mode")
+	}
+	defer experiment.SetParallelism(0)
+	experiment.SetParallelism(2)
+
+	cfg := faultConfig(t)
+	local, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(CoordinatorConfig{Campaign: cfg, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First incarnation crashes after reporting one chain.
+	waitDead := startWorker(t, c.Addr(), WorkerConfig{Capacity: 2, dieAfterResults: 1})
+	waitDead()
+	// Second incarnation reconnects and finishes the job.
+	wait := startWorker(t, c.Addr(), WorkerConfig{Capacity: 2})
+	res, ferr := c.Run()
+	wait()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if got, want := fingerprint(res), fingerprint(local); got != want {
+		t.Errorf("post-reconnect merge differs from local run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if _, peak := c.Workers(); peak < 1 {
+		t.Errorf("peak workers = %d, want >= 1", peak)
+	}
+}
+
+// TestWorkerJoinRejectsBadCoordinator: Join must fail cleanly against a
+// coordinator that never sends a config frame, sends garbage, or sends
+// a config naming an unknown algorithm.
+func TestWorkerJoinRejectsBadCoordinator(t *testing.T) {
+	serve := func(t *testing.T, reply func(net.Conn)) string {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = ln.Close() })
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			if _, err := wire.ReadFrame(br, nil, maxFrame); err != nil {
+				return // hello
+			}
+			reply(conn)
+		}()
+		return ln.Addr().String()
+	}
+
+	cases := []struct {
+		name  string
+		reply func(net.Conn)
+		want  string
+	}{
+		{"wrong frame type", func(conn net.Conn) {
+			bw := bufio.NewWriter(conn)
+			_ = wire.WriteFrame(bw, []byte{msgAssign, 0, 0}, maxFrame)
+			_ = bw.Flush()
+		}, "config frame"},
+		{"truncated config", func(conn net.Conn) {
+			bw := bufio.NewWriter(conn)
+			_ = wire.WriteFrame(bw, []byte{msgConfig, 0x01}, maxFrame)
+			_ = bw.Flush()
+		}, ""},
+		{"unknown algorithm", func(conn net.Conn) {
+			// A well-formed config frame naming a factory nothing resolves.
+			var enc wire.Writer
+			enc.Byte(msgConfig)
+			enc.Varint(1)                    // seed
+			enc.Uvarint(8)                   // procs
+			enc.Uvarint(100)                 // changes
+			enc.Uvarint(10)                  // segment
+			enc.Uvarint(math.Float64bits(1)) // rate
+			enc.Uvarint(1)                   // chains
+			enc.Uvarint(0)                   // trace retain
+			enc.Uvarint(1)                   // one factory
+			enc.RawBytes([]byte("no-such-algorithm"))
+			bw := bufio.NewWriter(conn)
+			_ = wire.WriteFrame(bw, enc.Bytes(), maxFrame)
+			_ = bw.Flush()
+		}, "no-such-algorithm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := serve(t, tc.reply)
+			w, err := Join(WorkerConfig{Addr: addr})
+			if err == nil {
+				_ = w.conn.Close()
+				t.Fatal("Join accepted a bad coordinator")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Join error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -18,7 +18,6 @@ package loadgen
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -45,58 +44,21 @@ const (
 // strings, so anything larger is a corrupt stream.
 const maxFrame = 1 << 20
 
-// frameHeader is the length prefix size.
-const frameHeader = 4
-
-// writeFrame sends one length-prefixed message.
+// writeFrame, readFrame and frameBuffered delegate to the shared
+// length-prefixed framing in internal/wire.
 func writeFrame(w io.Writer, body []byte) error {
-	if len(body) > maxFrame {
-		return fmt.Errorf("loadgen: frame too large (%d bytes)", len(body))
-	}
-	var hdr [frameHeader]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
-	return err
+	return wire.WriteFrame(w, body, maxFrame)
 }
 
-// readFrame reads one length-prefixed message, reusing buf when it is
-// large enough.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size > maxFrame {
-		return nil, fmt.Errorf("loadgen: frame length %d exceeds cap", size)
-	}
-	if uint32(cap(buf)) < size {
-		buf = make([]byte, size)
-	}
-	buf = buf[:size]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return wire.ReadFrame(r, buf, maxFrame)
 }
 
-// frameBuffered reports whether a complete frame is already sitting in
-// the reader's buffer — the server's flush boundary: as long as whole
+// frameBuffered is the server's flush boundary: as long as whole
 // requests are buffered, keep answering into the write buffer; flush
 // only when the next read would block.
 func frameBuffered(br *bufio.Reader) bool {
-	if br.Buffered() < frameHeader {
-		return false
-	}
-	hdr, err := br.Peek(frameHeader)
-	if err != nil {
-		return false
-	}
-	size := binary.BigEndian.Uint32(hdr)
-	return size <= maxFrame && br.Buffered() >= frameHeader+int(size)
+	return wire.FrameBuffered(br, maxFrame)
 }
 
 // encodeGet builds a Get request body.

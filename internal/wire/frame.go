@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing: a 4-byte big-endian length prefix followed by the
+// body. This is the one framing layer shared by every length-prefixed
+// protocol in the repository — the loadgen client protocol and the
+// distributed sweep farm both speak it — so frame-boundary handling
+// (length caps against corrupt streams, reuse of the caller's read
+// buffer, the "is a whole frame already buffered?" flush heuristic)
+// lives in exactly one place.
+
+// FrameHeader is the length-prefix size in bytes.
+const FrameHeader = 4
+
+// WriteFrame writes one length-prefixed frame. max bounds the body
+// size; oversize bodies are refused before anything hits the wire.
+func WriteFrame(w io.Writer, body []byte, max uint32) error {
+	if uint64(len(body)) > uint64(max) {
+		return fmt.Errorf("wire: frame too large (%d bytes, cap %d)", len(body), max)
+	}
+	var hdr [FrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is
+// large enough. A length prefix above max means the stream is corrupt
+// (or hostile) and the connection should be dropped.
+func ReadFrame(r io.Reader, buf []byte, max uint32) ([]byte, error) {
+	var hdr [FrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > max {
+		return nil, fmt.Errorf("wire: frame length %d exceeds cap %d", size, max)
+	}
+	if uint32(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// FrameBuffered reports whether a complete frame is already sitting in
+// the reader's buffer — the flush boundary for pipelined servers: as
+// long as whole frames are buffered, keep answering into the write
+// buffer; flush only when the next read would block.
+func FrameBuffered(br *bufio.Reader, max uint32) bool {
+	if br.Buffered() < FrameHeader {
+		return false
+	}
+	hdr, err := br.Peek(FrameHeader)
+	if err != nil {
+		return false
+	}
+	size := binary.BigEndian.Uint32(hdr)
+	return size <= max && br.Buffered() >= FrameHeader+int(size)
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 500)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range bodies {
+		got, err := ReadFrame(&buf, scratch, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) && len(want) > 0 {
+			t.Errorf("frame body = %q, want %q", got, want)
+		}
+		scratch = got[:0]
+	}
+}
+
+func TestWriteFrameRefusesOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100), 64); err == nil {
+		t.Fatal("oversize body accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("oversize write left %d bytes on the wire", buf.Len())
+	}
+}
+
+func TestReadFrameRejectsOversizeAndTruncated(t *testing.T) {
+	// Length prefix above the cap: corrupt stream.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, nil, 64); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Errorf("oversize prefix error = %v", err)
+	}
+
+	// Header promising more bytes than the stream holds.
+	buf.Reset()
+	if err := WriteFrame(&buf, make([]byte, 100), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	short := bytes.NewReader(buf.Bytes()[:FrameHeader+10])
+	if _, err := ReadFrame(short, nil, 1<<20); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated body error = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+
+	// Stream dying mid-header.
+	short = bytes.NewReader(buf.Bytes()[:2])
+	if _, err := ReadFrame(short, nil, 1<<20); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header error = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+func TestFrameBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello"), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	br := bufio.NewReader(bytes.NewReader(full))
+	if FrameBuffered(br, 1<<20) {
+		t.Error("frame reported buffered before any read primed the buffer")
+	}
+	if _, err := br.Peek(1); err != nil {
+		t.Fatal(err)
+	}
+	if !FrameBuffered(br, 1<<20) {
+		t.Error("complete buffered frame not detected")
+	}
+	if FrameBuffered(br, 2) {
+		t.Error("frame above cap reported buffered")
+	}
+
+	// Only part of the frame available: not buffered.
+	br = bufio.NewReader(bytes.NewReader(full[:FrameHeader+2]))
+	if _, err := br.Peek(1); err != nil {
+		t.Fatal(err)
+	}
+	if FrameBuffered(br, 1<<20) {
+		t.Error("partial frame reported buffered")
+	}
+}
